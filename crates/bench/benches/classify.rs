@@ -1,0 +1,60 @@
+//! Classifier throughput: the full per-trace classification (threshold
+//! detection + EWMA + state update) for both schemes, plus holding-time
+//! analysis. Measures the cost of running the paper's methodology
+//! online.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eleph_bench::bench_matrix;
+use eleph_core::{
+    classify, holding, ConstantLoadDetector, Scheme, PAPER_GAMMA, PAPER_LATENT_WINDOW,
+};
+
+fn bench_schemes(c: &mut Criterion) {
+    let matrix = bench_matrix(4_000, 72);
+    let mut group = c.benchmark_group("classify_4kflows_72int");
+    group.sample_size(10);
+    group.bench_function("single_feature", |b| {
+        b.iter(|| {
+            classify(
+                black_box(&matrix),
+                ConstantLoadDetector::new(0.8),
+                PAPER_GAMMA,
+                Scheme::SingleFeature,
+            )
+        })
+    });
+    group.bench_function("latent_heat_w12", |b| {
+        b.iter(|| {
+            classify(
+                black_box(&matrix),
+                ConstantLoadDetector::new(0.8),
+                PAPER_GAMMA,
+                Scheme::LatentHeat {
+                    window: PAPER_LATENT_WINDOW,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_holding(c: &mut Criterion) {
+    let matrix = bench_matrix(4_000, 72);
+    let result = classify(
+        &matrix,
+        ConstantLoadDetector::new(0.8),
+        PAPER_GAMMA,
+        Scheme::LatentHeat {
+            window: PAPER_LATENT_WINDOW,
+        },
+    );
+    c.bench_function("holding_analysis_72int", |b| {
+        b.iter(|| holding::analyze(black_box(&result), 0..72, 300))
+    });
+    c.bench_function("churn_72int", |b| {
+        b.iter(|| holding::churn(black_box(&result)))
+    });
+}
+
+criterion_group!(benches, bench_schemes, bench_holding);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Threshold-detector micro-benchmarks: the aest scaling estimator (the
+//! expensive part of the paper's pipeline — it runs every interval),
+//! the Hill estimator baseline, and the constant-load sort.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eleph_core::{AestDetector, ConstantLoadDetector, ThresholdDetector};
+use eleph_stats::dist::{LogNormal, Pareto, Sample};
+use eleph_stats::{aest, hill_estimator, AestConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A flow-bandwidth-like mixture: log-normal body, Pareto tail.
+fn snapshot(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let body = LogNormal::new(9.0, 1.0).expect("valid");
+    let tail = Pareto::new(1e6, 1.25).expect("valid");
+    (0..n)
+        .map(|i| {
+            if i % 40 == 0 {
+                tail.sample(&mut rng)
+            } else {
+                body.sample(&mut rng)
+            }
+        })
+        .collect()
+}
+
+fn bench_aest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aest");
+    group.sample_size(20);
+    for n in [5_000usize, 20_000, 50_000] {
+        let xs = snapshot(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| aest(black_box(xs), &AestConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hill(c: &mut Criterion) {
+    let xs = snapshot(50_000);
+    c.bench_function("hill_50k_k2000", |b| {
+        b.iter(|| hill_estimator(black_box(&xs), 2_000))
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let xs = snapshot(20_000);
+    let mut group = c.benchmark_group("detector_20k");
+    group.sample_size(20);
+    group.bench_function("aest", |b| {
+        let d = AestDetector::new();
+        b.iter(|| d.detect(black_box(&xs)))
+    });
+    group.bench_function("constant_load", |b| {
+        let d = ConstantLoadDetector::new(0.8);
+        b.iter(|| d.detect(black_box(&xs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aest, bench_hill, bench_detectors);
+criterion_main!(benches);

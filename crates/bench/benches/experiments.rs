@@ -1,0 +1,89 @@
+//! One benchmark per figure/table of the paper: the regeneration kernel
+//! of each experiment at a reduced scale (the shape of the computation
+//! is identical to the full-scale run; only the population shrinks).
+//!
+//! `cargo bench -p eleph-bench --bench experiments` therefore both
+//! regenerates every result (writing the CSVs under target/experiments/)
+//! and reports how long each regeneration takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eleph_report::experiments::{
+    ablation_beta, ablation_gamma, ablation_scheme, ablation_window, fig1_data, fig1a, fig1b,
+    fig1c, table1, table2, table3, table4,
+};
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn bench_fig1_panels(c: &mut Criterion) {
+    // The classification runs are shared by the three panels, exactly as
+    // in the real harness; they are benched separately below.
+    let data = fig1_data(SCALE, SEED);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1a_counts", |b| {
+        b.iter(|| fig1a(&data).expect("fig1a"))
+    });
+    group.bench_function("fig1b_fractions", |b| {
+        b.iter(|| fig1b(&data).expect("fig1b"))
+    });
+    group.bench_function("fig1c_holding", |b| {
+        b.iter(|| fig1c(&data).expect("fig1c"))
+    });
+    group.finish();
+}
+
+fn bench_fig1_pipeline(c: &mut Criterion) {
+    // The full Figure 1 pipeline: build both scenarios and run the four
+    // classifications. This is the dominant cost of the reproduction.
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("fig1_data_full", |b| b.iter(|| fig1_data(SCALE, SEED)));
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let data = fig1_data(SCALE, SEED);
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_single_feature", |b| {
+        b.iter(|| table1(SCALE, SEED).expect("table1"))
+    });
+    group.bench_function("table2_latent_heat", |b| {
+        b.iter(|| table2(&data).expect("table2"))
+    });
+    group.bench_function("table3_prefixes", |b| {
+        b.iter(|| table3(&data).expect("table3"))
+    });
+    group.bench_function("table4_interval_sweep", |b| {
+        b.iter(|| table4(SCALE, SEED).expect("table4"))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("gamma_sweep", |b| {
+        b.iter(|| ablation_gamma(SCALE, SEED).expect("gamma"))
+    });
+    group.bench_function("window_sweep", |b| {
+        b.iter(|| ablation_window(SCALE, SEED).expect("window"))
+    });
+    group.bench_function("beta_sweep", |b| {
+        b.iter(|| ablation_beta(SCALE, SEED).expect("beta"))
+    });
+    group.bench_function("scheme_comparison", |b| {
+        b.iter(|| ablation_scheme(SCALE, SEED).expect("scheme"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_panels,
+    bench_fig1_pipeline,
+    bench_tables,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Longest-prefix-match micro-benchmarks: the four table implementations
+//! on a backbone-sized RIB. Justifies the choice of the path-compressed
+//! trie as the pipeline default and the per-length map for lookup-heavy
+//! batch jobs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eleph_bench::bench_table;
+use eleph_net::{CompressedTrieLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, TrieLpm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn entries(n: usize) -> Vec<(Prefix, u32)> {
+    bench_table(n)
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.prefix, i as u32))
+        .collect()
+}
+
+fn queries(n: usize) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let entries = entries(20_000);
+    let queries = queries(10_000);
+
+    let mut group = c.benchmark_group("lpm_lookup_10k");
+    group.sample_size(20);
+
+    let table = CompressedTrieLpm::from_entries(entries.clone());
+    group.bench_function("compressed_trie", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &q in &queries {
+                if table.lookup(black_box(q)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    let mut trie = TrieLpm::new();
+    for (p, v) in &entries {
+        trie.insert(*p, *v);
+    }
+    group.bench_function("binary_trie", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &q in &queries {
+                if trie.lookup(black_box(q)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    let mut perlen = PerLengthLpm::new();
+    for (p, v) in &entries {
+        perlen.insert(*p, *v);
+    }
+    group.bench_function("per_length_maps", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &q in &queries {
+                if perlen.lookup(black_box(q)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // The linear oracle on a reduced query load (it is O(n) per lookup).
+    let mut linear = LinearLpm::new();
+    for (p, v) in &entries {
+        linear.insert(*p, *v);
+    }
+    group.bench_function("linear_oracle_100q", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &q in &queries[..100] {
+                if linear.lookup(black_box(q)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm_build");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let entries = entries(n);
+        group.bench_with_input(BenchmarkId::new("compressed_trie", n), &entries, |b, e| {
+            b.iter(|| CompressedTrieLpm::from_entries(e.iter().copied()))
+        });
+        group.bench_with_input(BenchmarkId::new("per_length_maps", n), &entries, |b, e| {
+            b.iter(|| {
+                let mut t = PerLengthLpm::new();
+                for (p, v) in e {
+                    t.insert(*p, *v);
+                }
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Packet-path throughput: pcap write, pcap read + metadata parse, and
+//! the full aggregation pipeline. These bound how fast the system could
+//! process a real OC-12 capture.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use eleph_bench::bench_table;
+use eleph_flow::aggregate_pcap;
+use eleph_packet::pcap::PcapReader;
+use eleph_packet::{parse_record_meta, LinkType, PacketBuilder};
+use eleph_trace::{PacketSynth, RateTrace, WorkloadConfig};
+
+fn sample_trace() -> (eleph_bgp::BgpTable, RateTrace) {
+    let table = bench_table(2_000);
+    let config = WorkloadConfig {
+        n_flows: 120,
+        n_intervals: 2,
+        interval_secs: 20,
+        link: eleph_trace::LinkSpec {
+            name: "bench".to_string(),
+            capacity_bps: 10_000_000.0,
+            target_peak_util: 0.5,
+        },
+        ..WorkloadConfig::small_test(3)
+    };
+    let trace = RateTrace::generate(&config, &table);
+    (table, trace)
+}
+
+fn bench_packet_build_parse(c: &mut Criterion) {
+    let bytes = PacketBuilder::tcp()
+        .src("10.0.0.1".parse().expect("addr"), 443)
+        .dst("192.0.2.9".parse().expect("addr"), 55_000)
+        .payload_len(536)
+        .build_ipv4();
+    let mut group = c.benchmark_group("packet");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("build_tcp_576B", |b| {
+        b.iter(|| {
+            PacketBuilder::tcp()
+                .src(black_box("10.0.0.1".parse().expect("addr")), 443)
+                .dst("192.0.2.9".parse().expect("addr"), 55_000)
+                .payload_len(536)
+                .build_ipv4()
+        })
+    });
+    group.bench_function("parse_meta_576B", |b| {
+        b.iter(|| eleph_packet::parse_meta(LinkType::RawIp, black_box(&bytes), 0))
+    });
+    group.finish();
+}
+
+fn bench_pcap_io(c: &mut Criterion) {
+    let (table, trace) = sample_trace();
+    let synth = PacketSynth::new(&trace);
+    let mut pcap = Vec::new();
+    synth.write_pcap(0..2, &mut pcap).expect("synthesis");
+    let n_packets = {
+        let reader = PcapReader::new(&pcap[..]).expect("header");
+        reader.count()
+    };
+
+    let mut group = c.benchmark_group("pcap");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(pcap.len() as u64));
+    group.bench_function(format!("write_{n_packets}pkts"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(pcap.len());
+            synth.write_pcap(0..2, &mut out).expect("synthesis");
+            out.len()
+        })
+    });
+    group.bench_function(format!("read_parse_{n_packets}pkts"), |b| {
+        b.iter(|| {
+            let mut reader = PcapReader::new(black_box(&pcap[..])).expect("header");
+            let link = LinkType::from_code(reader.header().linktype).expect("linktype");
+            let mut total = 0u64;
+            while let Some(rec) = reader.next_record().expect("records") {
+                let meta = parse_record_meta(link, &rec).expect("valid packets");
+                total += u64::from(meta.wire_len);
+            }
+            total
+        })
+    });
+    group.bench_function(format!("aggregate_{n_packets}pkts"), |b| {
+        b.iter(|| {
+            aggregate_pcap(
+                black_box(&pcap[..]),
+                &table,
+                trace.config.interval_secs,
+                trace.config.start_unix,
+                trace.config.n_intervals,
+            )
+            .expect("aggregation")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_build_parse, bench_pcap_io);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared fixtures for the criterion benches in `benches/`.
+
+#![forbid(unsafe_code)]
+
+use eleph_bgp::synth::{self, SynthConfig};
+use eleph_bgp::BgpTable;
+use eleph_flow::BandwidthMatrix;
+use eleph_trace::{RateTrace, WorkloadConfig};
+
+/// A mid-sized routing table (deterministic).
+pub fn bench_table(n: usize) -> BgpTable {
+    synth::generate(&SynthConfig {
+        n_prefixes: n,
+        ..SynthConfig::default()
+    })
+}
+
+/// A mid-sized workload trace + matrix (deterministic).
+pub fn bench_matrix(n_flows: usize, n_intervals: usize) -> BandwidthMatrix {
+    let table = bench_table((n_flows * 3).max(2_000));
+    let config = WorkloadConfig {
+        n_flows,
+        n_intervals,
+        interval_secs: 300,
+        link: eleph_trace::LinkSpec::oc12("bench OC-12", 0.5),
+        profile: eleph_trace::DiurnalProfile::west_coast(),
+        tz_offset_secs: -7 * 3600,
+        heavy_rate_floor: 400_000.0,
+        mouse_log_mean: (15_000f64).ln(),
+        ..WorkloadConfig::small_test(0xBE7C)
+    };
+    let trace = RateTrace::generate(&config, &table);
+    BandwidthMatrix::from_rate_trace(&trace)
+}

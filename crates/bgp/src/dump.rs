@@ -1,0 +1,233 @@
+//! Line-oriented text RIB dumps.
+//!
+//! Format, one route per line, `|`-separated:
+//!
+//! ```text
+//! # comment / header lines start with '#'
+//! 10.0.0.0/8|192.0.2.1|1239 701 3356|IGP|TIER1
+//! ```
+//!
+//! This mirrors the flat text exports of route collectors (e.g. RouteViews
+//! `show ip bgp` dumps) closely enough to be practical while staying
+//! trivially diffable in tests.
+
+use core::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::Ipv4Addr;
+
+use crate::{BgpTable, Origin, PeerClass, RouteEntry};
+
+/// Errors from parsing a text RIB dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DumpError {
+    /// Line did not have the expected number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Which field.
+        field: &'static str,
+        /// Offending content.
+        content: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 5 fields, got {got}")
+            }
+            DumpError::BadField { line, field, content } => {
+                write!(f, "line {line}: bad {field}: {content:?}")
+            }
+            DumpError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {}
+
+impl From<std::io::Error> for DumpError {
+    fn from(e: std::io::Error) -> Self {
+        DumpError::Io(e.to_string())
+    }
+}
+
+/// Serialise a table to the text format, sorted in RIB order.
+pub fn write_dump<W: Write>(table: &BgpTable, mut out: W) -> Result<(), DumpError> {
+    writeln!(out, "# backbone-elephants RIB dump: {} routes", table.len())?;
+    writeln!(out, "# prefix|next_hop|as_path|origin|peer_class")?;
+    for e in table.iter() {
+        let path: Vec<String> = e.as_path.iter().map(u32::to_string).collect();
+        writeln!(
+            out,
+            "{}|{}|{}|{}|{}",
+            e.prefix,
+            e.next_hop,
+            path.join(" "),
+            e.origin,
+            e.peer_class
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse a table from the text format.
+pub fn read_dump<R: Read>(input: R) -> Result<BgpTable, DumpError> {
+    let reader = BufReader::new(input);
+    let mut table = BgpTable::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('|').collect();
+        if fields.len() != 5 {
+            return Err(DumpError::FieldCount {
+                line: line_no,
+                got: fields.len(),
+            });
+        }
+        let prefix = fields[0].parse().map_err(|_| DumpError::BadField {
+            line: line_no,
+            field: "prefix",
+            content: fields[0].to_string(),
+        })?;
+        let next_hop: Ipv4Addr = fields[1].parse().map_err(|_| DumpError::BadField {
+            line: line_no,
+            field: "next_hop",
+            content: fields[1].to_string(),
+        })?;
+        let as_path = fields[2]
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<u32>().map_err(|_| DumpError::BadField {
+                    line: line_no,
+                    field: "as_path",
+                    content: t.to_string(),
+                })
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        let origin: Origin = fields[3].parse().map_err(|_| DumpError::BadField {
+            line: line_no,
+            field: "origin",
+            content: fields[3].to_string(),
+        })?;
+        let peer_class: PeerClass = fields[4].parse().map_err(|_| DumpError::BadField {
+            line: line_no,
+            field: "peer_class",
+            content: fields[4].to_string(),
+        })?;
+        table.insert(RouteEntry {
+            prefix,
+            next_hop,
+            as_path,
+            origin,
+            peer_class,
+        });
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> BgpTable {
+        BgpTable::from_entries(vec![
+            RouteEntry {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                next_hop: Ipv4Addr::new(192, 0, 2, 1),
+                as_path: vec![1239, 701, 3356],
+                origin: Origin::Igp,
+                peer_class: PeerClass::Tier1,
+            },
+            RouteEntry {
+                prefix: "172.16.0.0/12".parse().unwrap(),
+                next_hop: Ipv4Addr::new(192, 0, 2, 9),
+                as_path: vec![7018],
+                origin: Origin::Incomplete,
+                peer_class: PeerClass::Stub,
+            },
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_dump(&table, &mut buf).unwrap();
+        let back = read_dump(&buf[..]).unwrap();
+        assert_eq!(back.len(), table.len());
+        for e in table.iter() {
+            assert_eq!(back.get(e.prefix), Some(e));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "\n# header\n\n10.0.0.0/8|192.0.2.1|1239|IGP|TIER1\n   \n";
+        let t = read_dump(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn field_count_error_reports_line() {
+        let text = "# ok\n10.0.0.0/8|192.0.2.1|1239\n";
+        assert_eq!(
+            read_dump(text.as_bytes()).unwrap_err(),
+            DumpError::FieldCount { line: 2, got: 3 }
+        );
+    }
+
+    #[test]
+    fn bad_fields_are_specific() {
+        let cases = [
+            ("x/8|192.0.2.1|1|IGP|TIER1", "prefix"),
+            ("10.0.0.0/8|bogus|1|IGP|TIER1", "next_hop"),
+            ("10.0.0.0/8|192.0.2.1|abc|IGP|TIER1", "as_path"),
+            ("10.0.0.0/8|192.0.2.1|1|XXX|TIER1", "origin"),
+            ("10.0.0.0/8|192.0.2.1|1|IGP|YYY", "peer_class"),
+        ];
+        for (text, field) in cases {
+            match read_dump(text.as_bytes()).unwrap_err() {
+                DumpError::BadField { field: f, .. } => assert_eq!(f, field),
+                other => panic!("expected BadField({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_as_path_round_trips() {
+        let t = BgpTable::from_entries(vec![RouteEntry {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            next_hop: Ipv4Addr::new(1, 1, 1, 1),
+            as_path: vec![],
+            origin: Origin::Egp,
+            peer_class: PeerClass::Tier2,
+        }]);
+        let mut buf = Vec::new();
+        write_dump(&t, &mut buf).unwrap();
+        let back = read_dump(&buf[..]).unwrap();
+        assert_eq!(back.iter().next().unwrap().as_path, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn header_mentions_route_count() {
+        let mut buf = Vec::new();
+        write_dump(&sample_table(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# backbone-elephants RIB dump: 2 routes"));
+    }
+}

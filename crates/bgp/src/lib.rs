@@ -1,0 +1,29 @@
+//! BGP routing-table substrate.
+//!
+//! The paper's flow granularity is the *BGP destination network prefix*:
+//! every packet is attributed to the longest-matching entry of the routing
+//! table collected alongside the packet trace. Sprint's 2001 tables are
+//! proprietary, so this crate provides both the table machinery and a
+//! calibrated synthetic stand-in:
+//!
+//! * [`RouteEntry`] / [`Origin`] / [`PeerClass`] — one RIB entry with the
+//!   attributes the analysis needs (AS path, origin, peer classification);
+//! * [`BgpTable`] — an LPM-indexed RIB over [`eleph_net::CompressedTrieLpm`]
+//!   with prefix attribution ([`BgpTable::attribute`]) and unshadowed
+//!   address sampling for trace synthesis;
+//! * [`dump`] — a line-oriented text RIB format (write + parse);
+//! * [`synth`] — a synthetic table generator whose prefix-length histogram
+//!   matches a 2001-era backbone table (~100k entries, mass at /16–/24),
+//!   used by every experiment in the reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dump;
+mod route;
+pub mod synth;
+mod table;
+
+pub use route::{Origin, PeerClass, RouteEntry};
+pub use synth::{SynthConfig, DEFAULT_LENGTH_WEIGHTS};
+pub use table::BgpTable;

@@ -1,0 +1,257 @@
+//! The induced two-state process and its holding-time statistics.
+//!
+//! Classification induces, for each flow, the process
+//! `Z_i(n) = 1` if elephant, `0` if mouse (paper §II). The quality of a
+//! scheme for traffic engineering is judged by how long flows *hold* the
+//! elephant state: the paper reports average holding times of 20–40 min
+//! (volatile) for single-feature classification and ≈ 2 h for latent
+//! heat, with the single-interval-elephant count dropping from > 1000 to
+//! ≈ 50 (Figure 1(c)).
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+use eleph_flow::KeyId;
+
+use crate::ClassificationResult;
+
+/// Per-flow holding behaviour within the analysis window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowHolding {
+    /// Total intervals spent in the elephant state.
+    pub slots: usize,
+    /// Number of maximal elephant runs.
+    pub runs: usize,
+    /// Average holding time in slots (`slots / runs`).
+    pub avg_slots: f64,
+}
+
+/// Holding-time statistics over an interval window (the paper uses the
+/// five-hour busy period).
+#[derive(Debug, Clone)]
+pub struct HoldingStats {
+    /// Interval length in seconds (to convert slots to wall time).
+    pub interval_secs: u64,
+    /// The analysed window.
+    pub window: Range<usize>,
+    /// Every flow that was an elephant at least once, with its holding
+    /// behaviour.
+    pub per_flow: Vec<(KeyId, FlowHolding)>,
+    /// Mean of per-flow average holding times, in slots.
+    pub mean_avg_slots: f64,
+    /// Flows that were elephants for exactly one interval in total — the
+    /// paper's headline volatility number.
+    pub single_interval_flows: usize,
+}
+
+impl HoldingStats {
+    /// Mean of per-flow average holding times in minutes.
+    pub fn mean_avg_minutes(&self) -> f64 {
+        self.mean_avg_slots * self.interval_secs as f64 / 60.0
+    }
+
+    /// Number of flows that were ever elephants in the window.
+    pub fn n_elephant_flows(&self) -> usize {
+        self.per_flow.len()
+    }
+
+    /// Histogram of per-flow average holding times: bucket `k` counts
+    /// flows whose average rounds to `k` slots (Figure 1(c)'s data, to be
+    /// plotted with a log count axis). Bucket 0 is unused.
+    pub fn avg_holding_histogram(&self, max_slots: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; max_slots + 1];
+        for (_, h) in &self.per_flow {
+            let bucket = (h.avg_slots.round() as usize).clamp(1, max_slots);
+            hist[bucket] += 1;
+        }
+        hist
+    }
+}
+
+/// Analyse the two-state process over `window`.
+///
+/// A run that is still open at the window edge counts as a run (the
+/// paper's busy-period cut does the same: holding times are clipped by
+/// the observation window).
+pub fn analyze(
+    result: &ClassificationResult,
+    window: Range<usize>,
+    interval_secs: u64,
+) -> HoldingStats {
+    assert!(
+        window.end <= result.n_intervals(),
+        "window {window:?} beyond {} intervals",
+        result.n_intervals()
+    );
+    let mut slots: HashMap<KeyId, usize> = HashMap::new();
+    let mut runs: HashMap<KeyId, usize> = HashMap::new();
+    let mut prev: HashSet<KeyId> = HashSet::new();
+
+    for n in window.clone() {
+        let current: HashSet<KeyId> = result.elephants[n].iter().copied().collect();
+        for &key in &current {
+            *slots.entry(key).or_default() += 1;
+            if !prev.contains(&key) {
+                *runs.entry(key).or_default() += 1;
+            }
+        }
+        prev = current;
+    }
+
+    let mut per_flow: Vec<(KeyId, FlowHolding)> = slots
+        .into_iter()
+        .map(|(key, s)| {
+            let r = runs[&key];
+            (
+                key,
+                FlowHolding {
+                    slots: s,
+                    runs: r,
+                    avg_slots: s as f64 / r as f64,
+                },
+            )
+        })
+        .collect();
+    per_flow.sort_unstable_by_key(|&(key, _)| key);
+
+    let mean_avg_slots = if per_flow.is_empty() {
+        0.0
+    } else {
+        per_flow.iter().map(|(_, h)| h.avg_slots).sum::<f64>() / per_flow.len() as f64
+    };
+    let single_interval_flows = per_flow.iter().filter(|(_, h)| h.slots == 1).count();
+
+    HoldingStats {
+        interval_secs,
+        window,
+        per_flow,
+        mean_avg_slots,
+        single_interval_flows,
+    }
+}
+
+/// Per-interval reclassification churn: how many flows changed state
+/// between consecutive intervals. The paper's motivation for latent heat
+/// is precisely to keep this small for TE applications.
+pub fn churn(result: &ClassificationResult) -> Vec<usize> {
+    let mut out = Vec::with_capacity(result.n_intervals());
+    let mut prev: HashSet<KeyId> = HashSet::new();
+    for n in 0..result.n_intervals() {
+        let current: HashSet<KeyId> = result.elephants[n].iter().copied().collect();
+        out.push(current.symmetric_difference(&prev).count());
+        prev = current;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    /// Hand-build a result with scripted elephant sets.
+    fn scripted(sets: Vec<Vec<KeyId>>) -> ClassificationResult {
+        let n = sets.len();
+        ClassificationResult {
+            detector: "scripted".to_string(),
+            scheme: Scheme::SingleFeature,
+            thresholds: vec![0.0; n],
+            raw_thresholds: vec![Some(0.0); n],
+            elephants: sets,
+            elephant_load: vec![0.0; n],
+            total_load: vec![1.0; n],
+        }
+    }
+
+    #[test]
+    fn single_continuous_run() {
+        let r = scripted(vec![vec![7], vec![7], vec![7], vec![]]);
+        let h = analyze(&r, 0..4, 300);
+        assert_eq!(h.per_flow.len(), 1);
+        let (key, fh) = h.per_flow[0];
+        assert_eq!(key, 7);
+        assert_eq!(fh.slots, 3);
+        assert_eq!(fh.runs, 1);
+        assert!((fh.avg_slots - 3.0).abs() < 1e-12);
+        assert_eq!(h.single_interval_flows, 0);
+        assert!((h.mean_avg_minutes() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_runs_average() {
+        // 2-slot run, gap, 1-slot run → avg = 3/2.
+        let r = scripted(vec![vec![1], vec![1], vec![], vec![1]]);
+        let h = analyze(&r, 0..4, 300);
+        let (_, fh) = h.per_flow[0];
+        assert_eq!(fh.slots, 3);
+        assert_eq!(fh.runs, 2);
+        assert!((fh.avg_slots - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_interval_flows_counted() {
+        let r = scripted(vec![vec![1, 2], vec![2], vec![]]);
+        let h = analyze(&r, 0..3, 300);
+        assert_eq!(h.single_interval_flows, 1); // key 1
+        assert_eq!(h.n_elephant_flows(), 2);
+    }
+
+    #[test]
+    fn window_clips_runs() {
+        // Key elephant from 0..6, but window is 2..4: 2 slots, 1 run.
+        let r = scripted((0..6).map(|_| vec![3]).collect());
+        let h = analyze(&r, 2..4, 300);
+        let (_, fh) = h.per_flow[0];
+        assert_eq!(fh.slots, 2);
+        assert_eq!(fh.runs, 1);
+        assert_eq!(h.window, 2..4);
+    }
+
+    #[test]
+    fn empty_window_and_no_elephants() {
+        let r = scripted(vec![vec![], vec![]]);
+        let h = analyze(&r, 0..2, 300);
+        assert_eq!(h.n_elephant_flows(), 0);
+        assert_eq!(h.mean_avg_slots, 0.0);
+        assert_eq!(h.single_interval_flows, 0);
+        assert!(h.avg_holding_histogram(10).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn window_bounds_checked() {
+        let r = scripted(vec![vec![]]);
+        let _ = analyze(&r, 0..2, 300);
+    }
+
+    #[test]
+    fn histogram_buckets_round_and_clamp() {
+        // avg 1.0 → bucket 1; avg 1.5 → bucket 2 (rounds up); avg 60 with
+        // max 10 → clamped to bucket 10.
+        let r = scripted(vec![
+            vec![1, 2, 3],
+            vec![2, 3],
+            vec![3],
+            vec![2, 3],
+            vec![3],
+            vec![3],
+        ]);
+        // key 1: slots 1 runs 1 → avg 1. key 2: slots 3, runs 2 → 1.5.
+        // key 3: slots 6, runs 1 → 6.
+        let h = analyze(&r, 0..6, 300);
+        let hist = h.avg_holding_histogram(10);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist[6], 1);
+        let hist_small = h.avg_holding_histogram(4);
+        assert_eq!(hist_small[4], 1); // key 3 clamped
+    }
+
+    #[test]
+    fn churn_counts_state_changes() {
+        let r = scripted(vec![vec![1, 2], vec![2, 3], vec![2, 3], vec![]]);
+        // n=0: {} → {1,2}: 2 changes. n=1: {1,2} → {2,3}: 2. n=2: 0.
+        // n=3: {2,3} → {}: 2.
+        assert_eq!(churn(&r), vec![2, 2, 0, 2]);
+    }
+}

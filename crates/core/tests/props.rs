@@ -1,0 +1,190 @@
+//! Property tests for the classification schemes: the sliding-sum
+//! latent-heat implementation must match the paper's formula computed
+//! naively, and the structural invariants of a classification must hold
+//! on arbitrary bandwidth matrices.
+
+use eleph_core::{
+    classify, holding, ConstantLoadDetector, PercentileDetector, Scheme, ThresholdDetector,
+    TopNDetector,
+};
+use eleph_flow::BandwidthMatrix;
+use eleph_net::Prefix;
+use proptest::prelude::*;
+
+/// A fixed-threshold detector isolates classifier logic from detector
+/// logic.
+#[derive(Clone, Copy)]
+struct Fixed(f64);
+
+impl ThresholdDetector for Fixed {
+    fn detect(&self, _values: &[f64]) -> Option<f64> {
+        Some(self.0)
+    }
+    fn name(&self) -> String {
+        "fixed".to_string()
+    }
+}
+
+fn keys(n: usize) -> Vec<Prefix> {
+    (0..n)
+        .map(|i| {
+            format!("10.{}.{}.0/24", i / 256, i % 256)
+                .parse()
+                .expect("valid prefix")
+        })
+        .collect()
+}
+
+/// Random dense rate matrices: up to 12 keys × up to 20 intervals.
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..12, 1usize..20).prop_flat_map(|(nk, ni)| {
+        prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![3 => Just(0.0), 7 => 1.0..1000.0f64],
+                nk,
+            ),
+            ni,
+        )
+    })
+}
+
+fn matrix(rows: &[Vec<f64>]) -> BandwidthMatrix {
+    BandwidthMatrix::from_dense(60, 0, keys(rows[0].len()), rows)
+}
+
+proptest! {
+    #[test]
+    fn single_feature_matches_oracle(rows in arb_rows(), threshold in 0.0..1200.0f64) {
+        let m = matrix(&rows);
+        let r = classify(&m, Fixed(threshold), 0.0, Scheme::SingleFeature);
+        for (n, row) in rows.iter().enumerate() {
+            for (i, &rate) in row.iter().enumerate() {
+                let expect = rate > threshold;
+                // f32 storage rounds rates; tolerate boundary flips only
+                // when the rate is within f32 epsilon of the threshold.
+                let got = r.is_elephant(n, i as u32);
+                if (rate - threshold).abs() > 0.01 {
+                    prop_assert_eq!(got, expect, "interval {} key {}: rate {}", n, i, rate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latent_heat_matches_naive_formula(rows in arb_rows(), threshold in 0.0..1200.0f64, window in 1usize..6) {
+        let m = matrix(&rows);
+        let r = classify(&m, Fixed(threshold), 0.0, Scheme::LatentHeat { window });
+        for n in 0..rows.len() {
+            let lo = n.saturating_sub(window - 1);
+            for i in 0..rows[0].len() {
+                let lh: f64 = (lo..=n).map(|j| m.rate(j, i as u32) - threshold).sum();
+                if lh.abs() > 0.01 {
+                    prop_assert_eq!(
+                        r.is_elephant(n, i as u32),
+                        lh > 0.0,
+                        "interval {} key {}: LH {}",
+                        n, i, lh
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latent_heat_window_one_equals_single_feature(rows in arb_rows(), threshold in 0.0..1200.0f64) {
+        let m = matrix(&rows);
+        let single = classify(&m, Fixed(threshold), 0.0, Scheme::SingleFeature);
+        let lh1 = classify(&m, Fixed(threshold), 0.0, Scheme::LatentHeat { window: 1 });
+        prop_assert_eq!(single.elephants, lh1.elephants);
+    }
+
+    #[test]
+    fn raising_threshold_never_adds_elephants(rows in arb_rows(), t in 0.0..500.0f64, bump in 1.0..500.0f64) {
+        let m = matrix(&rows);
+        let low = classify(&m, Fixed(t), 0.0, Scheme::SingleFeature);
+        let high = classify(&m, Fixed(t + bump), 0.0, Scheme::SingleFeature);
+        for n in 0..rows.len() {
+            for key in &high.elephants[n] {
+                prop_assert!(
+                    low.is_elephant(n, *key),
+                    "key {} elephant at higher threshold only", key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_invariants(rows in arb_rows(), threshold in 0.0..1200.0f64, window in 1usize..6, gamma in 0.0..0.99f64) {
+        let m = matrix(&rows);
+        for scheme in [Scheme::SingleFeature, Scheme::LatentHeat { window }] {
+            let r = classify(&m, Fixed(threshold), gamma, scheme);
+            prop_assert_eq!(r.n_intervals(), rows.len());
+            for n in 0..rows.len() {
+                // Sorted, unique elephant ids within the key space.
+                let e = &r.elephants[n];
+                prop_assert!(e.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(e.iter().all(|&k| (k as usize) < rows[0].len()));
+                // Load accounting.
+                prop_assert!(r.elephant_load[n] <= r.total_load[n] + 1e-6);
+                prop_assert!(r.fraction(n) >= 0.0 && r.fraction(n) <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn holding_time_bookkeeping_conserves_slots(rows in arb_rows(), threshold in 0.0..1200.0f64) {
+        let m = matrix(&rows);
+        let r = classify(&m, Fixed(threshold), 0.0, Scheme::SingleFeature);
+        let h = holding::analyze(&r, 0..rows.len(), 60);
+        // Total slots across flows equal total elephant occurrences.
+        let total_slots: usize = h.per_flow.iter().map(|(_, f)| f.slots).sum();
+        let total_occurrences: usize = r.elephants.iter().map(Vec::len).sum();
+        prop_assert_eq!(total_slots, total_occurrences);
+        for (_, f) in &h.per_flow {
+            prop_assert!(f.runs >= 1);
+            prop_assert!(f.slots >= f.runs);
+            prop_assert!(f.avg_slots >= 1.0);
+            prop_assert!(f.avg_slots <= rows.len() as f64);
+        }
+        prop_assert!(h.single_interval_flows <= h.per_flow.len());
+    }
+
+    #[test]
+    fn churn_bounded_by_class_sizes(rows in arb_rows(), threshold in 0.0..1200.0f64) {
+        let m = matrix(&rows);
+        let r = classify(&m, Fixed(threshold), 0.0, Scheme::SingleFeature);
+        let churn = holding::churn(&r);
+        prop_assert_eq!(churn.len(), rows.len());
+        for n in 1..rows.len() {
+            let bound = r.count(n) + r.count(n - 1);
+            prop_assert!(churn[n] <= bound, "churn {} > bound {}", churn[n], bound);
+        }
+    }
+
+    #[test]
+    fn constant_load_threshold_is_minimal(values in prop::collection::vec(0.1..1e6f64, 1..200), beta in 0.05..1.0f64) {
+        let d = ConstantLoadDetector::new(beta);
+        let t = d.detect(&values).expect("non-empty positive values");
+        let total: f64 = values.iter().sum();
+        let at_or_above: f64 = values.iter().filter(|&&v| v >= t).sum();
+        prop_assert!(at_or_above >= beta * total - 1e-6);
+        let strictly_above: f64 = values.iter().filter(|&&v| v > t).sum();
+        prop_assert!(strictly_above < beta * total + 1e-6);
+    }
+
+    #[test]
+    fn top_n_detector_counts(values in prop::collection::vec(0.1..1e6f64, 1..100), n in 1usize..20) {
+        let d = TopNDetector { n };
+        let t = d.detect(&values).expect("non-empty");
+        let above = values.iter().filter(|&&v| v > t).count();
+        prop_assert!(above < n, "{above} flows above top-{n} threshold");
+    }
+
+    #[test]
+    fn percentile_detector_bounds_tail(values in prop::collection::vec(0.1..1e6f64, 1..200), q in 0.01..0.99f64) {
+        let d = PercentileDetector { q };
+        let t = d.detect(&values).expect("non-empty");
+        let above = values.iter().filter(|&&v| v > t).count();
+        prop_assert!(above as f64 <= (1.0 - q) * values.len() as f64 + 1.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Streaming packet-to-interval aggregation.
+
+use std::collections::HashMap;
+use std::io::Read;
+
+use eleph_bgp::BgpTable;
+use eleph_net::Prefix;
+use eleph_packet::pcap::PcapReader;
+use eleph_packet::{parse_record_meta, LinkType, PacketMeta};
+
+use crate::{BandwidthMatrix, KeyId};
+
+/// Accounting for every packet offered to an [`Aggregator`].
+///
+/// The paper's methodology implicitly requires conservation: every
+/// captured packet is either attributed to a prefix or counted in one of
+/// the reject buckets. The robustness tests assert
+/// `attributed + unroutable + out_of_window + malformed == offered`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets attributed to a prefix and binned.
+    pub attributed: u64,
+    /// Bytes attributed.
+    pub attributed_bytes: u64,
+    /// Packets whose destination matched no table entry.
+    pub unroutable: u64,
+    /// Packets timestamped outside the configured window.
+    pub out_of_window: u64,
+    /// Raw packets that failed to parse.
+    pub malformed: u64,
+}
+
+impl AggregatorStats {
+    /// Conservation check: all offered packets are accounted for.
+    pub fn is_conserved(&self) -> bool {
+        self.attributed + self.unroutable + self.out_of_window + self.malformed == self.offered
+    }
+}
+
+/// Streaming aggregator: packets in, [`BandwidthMatrix`] out.
+#[derive(Debug)]
+pub struct Aggregator<'t> {
+    table: &'t BgpTable,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+    /// Per interval: bytes per key.
+    bytes: Vec<HashMap<KeyId, u64>>,
+    keys: Vec<Prefix>,
+    index: HashMap<Prefix, KeyId>,
+    stats: AggregatorStats,
+}
+
+impl<'t> Aggregator<'t> {
+    /// Create an aggregator for `n_intervals` intervals of
+    /// `interval_secs` starting at `start_unix`.
+    pub fn new(
+        table: &'t BgpTable,
+        interval_secs: u64,
+        start_unix: u64,
+        n_intervals: usize,
+    ) -> Self {
+        assert!(interval_secs > 0, "interval must be positive");
+        Aggregator {
+            table,
+            interval_secs,
+            start_unix,
+            n_intervals,
+            bytes: vec![HashMap::new(); n_intervals],
+            keys: Vec::new(),
+            index: HashMap::new(),
+            stats: AggregatorStats::default(),
+        }
+    }
+
+    /// Observe one parsed packet.
+    pub fn observe(&mut self, meta: &PacketMeta) {
+        self.stats.offered += 1;
+        let start_ns = self.start_unix * 1_000_000_000;
+        if meta.ts_ns < start_ns {
+            self.stats.out_of_window += 1;
+            return;
+        }
+        let interval = ((meta.ts_ns - start_ns) / (self.interval_secs * 1_000_000_000)) as usize;
+        if interval >= self.n_intervals {
+            self.stats.out_of_window += 1;
+            return;
+        }
+        let Some((prefix, _)) = self.table.attribute(meta.dst) else {
+            self.stats.unroutable += 1;
+            return;
+        };
+        let next_id = self.keys.len() as KeyId;
+        let id = *self.index.entry(prefix).or_insert_with(|| {
+            self.keys.push(prefix);
+            next_id
+        });
+        *self.bytes[interval].entry(id).or_default() += u64::from(meta.wire_len);
+        self.stats.attributed += 1;
+        self.stats.attributed_bytes += u64::from(meta.wire_len);
+    }
+
+    /// Observe one raw packet (parse, then bin); parse failures are
+    /// counted as malformed, never propagated as errors.
+    pub fn observe_raw(&mut self, link: LinkType, data: &[u8], ts_ns: u64) {
+        match eleph_packet::parse_meta(link, data, ts_ns) {
+            Ok(meta) => self.observe(&meta),
+            Err(_) => {
+                self.stats.offered += 1;
+                self.stats.malformed += 1;
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> AggregatorStats {
+        self.stats
+    }
+
+    /// Convert accumulated bytes to average bandwidths and produce the
+    /// matrix.
+    pub fn finish(self) -> (BandwidthMatrix, AggregatorStats) {
+        let secs = self.interval_secs as f64;
+        let intervals: Vec<Vec<(KeyId, f32)>> = self
+            .bytes
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(KeyId, f32)> = m
+                    .into_iter()
+                    .map(|(id, bytes)| (id, (bytes as f64 * 8.0 / secs) as f32))
+                    .collect();
+                v.sort_unstable_by_key(|&(id, _)| id);
+                v
+            })
+            .collect();
+        let matrix =
+            BandwidthMatrix::from_parts(self.interval_secs, self.start_unix, self.keys, intervals);
+        (matrix, self.stats)
+    }
+}
+
+/// Aggregate a whole pcap stream. Records that fail structural pcap
+/// parsing abort with the error (a damaged file is not a measurement);
+/// packets inside records that fail *packet* parsing are counted as
+/// malformed and skipped.
+pub fn aggregate_pcap<R: Read>(
+    input: R,
+    table: &BgpTable,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
+    let mut reader = PcapReader::new(input)?;
+    let link = LinkType::from_code(reader.header().linktype)?;
+    let mut agg = Aggregator::new(table, interval_secs, start_unix, n_intervals);
+    while let Some(record) = reader.next_record()? {
+        match parse_record_meta(link, &record) {
+            Ok(meta) => agg.observe(&meta),
+            Err(_) => {
+                agg.stats.offered += 1;
+                agg.stats.malformed += 1;
+            }
+        }
+    }
+    Ok(agg.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleph_bgp::{Origin, PeerClass, RouteEntry};
+    use eleph_packet::{IpProtocol, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn table() -> BgpTable {
+        BgpTable::from_entries(vec![
+            RouteEntry {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                next_hop: Ipv4Addr::new(192, 0, 2, 1),
+                as_path: vec![1],
+                origin: Origin::Igp,
+                peer_class: PeerClass::Tier1,
+            },
+            RouteEntry {
+                prefix: "10.1.0.0/16".parse().unwrap(),
+                next_hop: Ipv4Addr::new(192, 0, 2, 2),
+                as_path: vec![2],
+                origin: Origin::Igp,
+                peer_class: PeerClass::Tier2,
+            },
+        ])
+    }
+
+    fn meta(dst: [u8; 4], ts_s: u64, len: u32) -> PacketMeta {
+        PacketMeta {
+            ts_ns: ts_s * 1_000_000_000,
+            src: Ipv4Addr::new(198, 18, 0, 1),
+            dst: Ipv4Addr::from(dst),
+            proto: IpProtocol::Tcp,
+            src_port: 1,
+            dst_port: 2,
+            wire_len: len,
+        }
+    }
+
+    #[test]
+    fn bins_by_interval_and_prefix() {
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 1000, 3);
+        agg.observe(&meta([10, 2, 0, 1], 1000, 1000)); // /8, interval 0
+        agg.observe(&meta([10, 2, 0, 1], 1009, 500)); // /8, interval 0
+        agg.observe(&meta([10, 1, 0, 1], 1010, 300)); // /16, interval 1
+        agg.observe(&meta([10, 2, 0, 1], 1029, 200)); // /8, interval 2
+
+        let (m, stats) = agg.finish();
+        assert_eq!(stats.attributed, 4);
+        assert!(stats.is_conserved());
+
+        let p8 = m.key_id("10.0.0.0/8".parse().unwrap()).unwrap();
+        let p16 = m.key_id("10.1.0.0/16".parse().unwrap()).unwrap();
+        // 1500 bytes over 10 s = 1200 b/s.
+        assert_eq!(m.rate(0, p8), 1200.0);
+        assert_eq!(m.rate(0, p16), 0.0);
+        assert_eq!(m.rate(1, p16), 240.0);
+        assert_eq!(m.rate(2, p8), 160.0);
+    }
+
+    #[test]
+    fn interval_boundaries_are_half_open() {
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 1000, 2);
+        // Exactly at the boundary: belongs to the second interval.
+        agg.observe(&meta([10, 0, 0, 1], 1010, 100));
+        let (m, _) = agg.finish();
+        let p8 = m.key_id("10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(m.rate(0, p8), 0.0);
+        assert_eq!(m.rate(1, p8), 80.0);
+    }
+
+    #[test]
+    fn rejects_are_counted_not_dropped() {
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 1000, 2);
+        agg.observe(&meta([11, 0, 0, 1], 1005, 100)); // unroutable
+        agg.observe(&meta([10, 0, 0, 1], 999, 100)); // before window
+        agg.observe(&meta([10, 0, 0, 1], 1020, 100)); // after window
+        agg.observe_raw(LinkType::RawIp, &[0xFF; 10], 1_005_000_000_000); // malformed
+        agg.observe(&meta([10, 0, 0, 1], 1005, 100)); // good
+
+        let stats = agg.stats();
+        assert_eq!(stats.offered, 5);
+        assert_eq!(stats.unroutable, 1);
+        assert_eq!(stats.out_of_window, 2);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.attributed, 1);
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn observe_raw_parses_real_packets() {
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 0, 1);
+        let bytes = PacketBuilder::udp()
+            .src(Ipv4Addr::new(198, 18, 0, 1), 9)
+            .dst(Ipv4Addr::new(10, 1, 2, 3), 53)
+            .payload_len(72)
+            .build_ipv4();
+        agg.observe_raw(LinkType::RawIp, &bytes, 5_000_000_000);
+        let (m, stats) = agg.finish();
+        assert_eq!(stats.attributed, 1);
+        let p16 = m.key_id("10.1.0.0/16".parse().unwrap()).unwrap();
+        assert_eq!(m.rate(0, p16), bytes.len() as f64 * 8.0 / 10.0);
+    }
+
+    #[test]
+    fn pcap_path_counts_malformed_records() {
+        use eleph_packet::pcap::PcapWriter;
+        let t = table();
+        let good = PacketBuilder::tcp()
+            .src(Ipv4Addr::new(198, 18, 0, 1), 1)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 80)
+            .payload_len(100)
+            .build_ipv4();
+
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, LinkType::RawIp.code()).unwrap();
+        w.write_record(1_000_000_000, good.len() as u32, &good).unwrap();
+        w.write_record(2_000_000_000, 4, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        w.finish().unwrap();
+
+        let (m, stats) = aggregate_pcap(&buf[..], &t, 10, 0, 1).unwrap();
+        assert_eq!(stats.offered, 2);
+        assert_eq!(stats.attributed, 1);
+        assert_eq!(stats.malformed, 1);
+        assert!(stats.is_conserved());
+        assert_eq!(m.n_keys(), 1);
+    }
+
+    #[test]
+    fn empty_aggregation_is_empty_matrix() {
+        let t = table();
+        let agg = Aggregator::new(&t, 10, 0, 4);
+        let (m, stats) = agg.finish();
+        assert_eq!(stats.offered, 0);
+        assert_eq!(m.n_keys(), 0);
+        assert_eq!(m.n_intervals(), 4);
+        for n in 0..4 {
+            assert_eq!(m.active(n), 0);
+            assert_eq!(m.total(n), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let t = table();
+        let _ = Aggregator::new(&t, 0, 0, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Flow measurement pipeline.
+//!
+//! Implements the paper's §II measurement methodology: time is discretised
+//! into intervals of length `T` (default 5 minutes), every packet is
+//! attributed to its longest-matching BGP prefix, and the per-prefix
+//! average bandwidth `B_i(n)` over each interval is the quantity all
+//! classification operates on.
+//!
+//! * [`BandwidthMatrix`] — the sparse `B_i(n)` matrix keyed by prefix;
+//!   built either from packets (via [`Aggregator`]) or directly from a
+//!   rate-level synthetic trace
+//!   ([`BandwidthMatrix::from_rate_trace`] — same object either way,
+//!   which is what lets the experiments run at rate level while the
+//!   integration tests pin packet-level equivalence);
+//! * [`Aggregator`] — streaming packet-to-interval aggregation with full
+//!   accounting ([`AggregatorStats`]): malformed, unroutable and
+//!   out-of-window packets are counted, never silently dropped;
+//! * [`aggregate_pcap`] — drive an [`Aggregator`] from a capture file;
+//! * [`busiest_window`] — locate the paper's "five hour busy period".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod matrix;
+mod window;
+
+pub use aggregate::{aggregate_pcap, Aggregator, AggregatorStats};
+pub use matrix::{BandwidthMatrix, KeyId};
+pub use window::busiest_window;

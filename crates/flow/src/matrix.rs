@@ -1,0 +1,254 @@
+//! The sparse per-prefix, per-interval bandwidth matrix.
+
+use std::collections::HashMap;
+
+use eleph_net::Prefix;
+use eleph_trace::RateTrace;
+
+/// Dense integer id for a prefix within one [`BandwidthMatrix`].
+pub type KeyId = u32;
+
+/// The `B_i(n)` matrix of the paper: for every measurement interval `n`,
+/// the average bandwidth (b/s) of every prefix `i` that saw traffic.
+///
+/// Stored sparsely: an interval holds a sorted `(KeyId, f32)` list of its
+/// active prefixes. Construction is either packet-driven
+/// ([`crate::Aggregator::finish`]) or rate-driven
+/// ([`BandwidthMatrix::from_rate_trace`]); downstream classification
+/// cannot tell the difference, by design.
+#[derive(Debug, Clone)]
+pub struct BandwidthMatrix {
+    interval_secs: u64,
+    start_unix: u64,
+    keys: Vec<Prefix>,
+    index: HashMap<Prefix, KeyId>,
+    intervals: Vec<Vec<(KeyId, f32)>>,
+    totals: Vec<f64>,
+}
+
+impl BandwidthMatrix {
+    /// Build from parts. `intervals` entries must be sorted by key id;
+    /// this is asserted in debug builds.
+    pub(crate) fn from_parts(
+        interval_secs: u64,
+        start_unix: u64,
+        keys: Vec<Prefix>,
+        intervals: Vec<Vec<(KeyId, f32)>>,
+    ) -> Self {
+        debug_assert!(intervals
+            .iter()
+            .all(|v| v.windows(2).all(|w| w[0].0 < w[1].0)));
+        let index = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as KeyId))
+            .collect();
+        let totals = intervals
+            .iter()
+            .map(|v| v.iter().map(|&(_, r)| f64::from(r)).sum())
+            .collect();
+        BandwidthMatrix {
+            interval_secs,
+            start_unix,
+            keys,
+            index,
+            intervals,
+            totals,
+        }
+    }
+
+    /// Build from dense per-interval rows: `rows[n][i]` is the bandwidth
+    /// of `keys[i]` in interval `n` (zero = inactive). Convenient for
+    /// tests and for adapting external data sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row is longer than `keys`, or when a rate is
+    /// negative or non-finite.
+    pub fn from_dense(
+        interval_secs: u64,
+        start_unix: u64,
+        keys: Vec<Prefix>,
+        rows: &[Vec<f64>],
+    ) -> Self {
+        let intervals: Vec<Vec<(KeyId, f32)>> = rows
+            .iter()
+            .map(|row| {
+                assert!(row.len() <= keys.len(), "row wider than key space");
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &r)| {
+                        assert!(r.is_finite() && r >= 0.0, "bad rate {r}");
+                        r > 0.0
+                    })
+                    .map(|(i, &r)| (i as KeyId, r as f32))
+                    .collect()
+            })
+            .collect();
+        Self::from_parts(interval_secs, start_unix, keys, intervals)
+    }
+
+    /// Convert a synthetic rate trace into a matrix keyed by prefix.
+    ///
+    /// This is the fast path the figure experiments use: the rate trace
+    /// *is* `B_i(n)` already, only the key space changes (flow id →
+    /// prefix).
+    pub fn from_rate_trace(trace: &RateTrace) -> Self {
+        let keys: Vec<Prefix> = trace
+            .population
+            .iter()
+            .map(|(_, meta)| meta.prefix)
+            .collect();
+        let intervals: Vec<Vec<(KeyId, f32)>> = (0..trace.n_intervals())
+            .map(|n| {
+                // FlowId and KeyId coincide: population order is key order.
+                trace.interval(n).to_vec()
+            })
+            .collect();
+        Self::from_parts(
+            trace.config.interval_secs,
+            trace.config.start_unix,
+            keys,
+            intervals,
+        )
+    }
+
+    /// Number of intervals.
+    pub fn n_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Interval length in seconds (the paper's `T`).
+    pub fn interval_secs(&self) -> u64 {
+        self.interval_secs
+    }
+
+    /// Unix time of interval 0's start.
+    pub fn start_unix(&self) -> u64 {
+        self.start_unix
+    }
+
+    /// Number of distinct prefixes ever seen.
+    pub fn n_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The prefix for a key id.
+    pub fn key(&self, id: KeyId) -> Prefix {
+        self.keys[id as usize]
+    }
+
+    /// The key id for a prefix, if it ever carried traffic.
+    pub fn key_id(&self, prefix: Prefix) -> Option<KeyId> {
+        self.index.get(&prefix).copied()
+    }
+
+    /// Sparse snapshot of interval `n`, ascending by key id.
+    pub fn interval(&self, n: usize) -> &[(KeyId, f32)] {
+        &self.intervals[n]
+    }
+
+    /// Bandwidth of key `id` in interval `n` (0.0 when inactive).
+    pub fn rate(&self, n: usize, id: KeyId) -> f64 {
+        match self.intervals[n].binary_search_by_key(&id, |&(k, _)| k) {
+            Ok(idx) => f64::from(self.intervals[n][idx].1),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// All bandwidth values of interval `n` (the threshold detectors'
+    /// input).
+    pub fn values(&self, n: usize) -> Vec<f64> {
+        self.intervals[n]
+            .iter()
+            .map(|&(_, r)| f64::from(r))
+            .collect()
+    }
+
+    /// Total bandwidth of interval `n` in b/s.
+    pub fn total(&self, n: usize) -> f64 {
+        self.totals[n]
+    }
+
+    /// Number of active prefixes in interval `n`.
+    pub fn active(&self, n: usize) -> usize {
+        self.intervals[n].len()
+    }
+
+    /// Totals across all intervals (for busy-period detection and
+    /// utilization plots).
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleph_bgp::synth::{self, SynthConfig};
+    use eleph_trace::WorkloadConfig;
+
+    fn prefix(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn from_parts_basics() {
+        let keys = vec![prefix("10.0.0.0/8"), prefix("192.168.0.0/16")];
+        let intervals = vec![
+            vec![(0u32, 100.0f32), (1, 50.0)],
+            vec![(1, 75.0)],
+            vec![],
+        ];
+        let m = BandwidthMatrix::from_parts(300, 0, keys, intervals);
+        assert_eq!(m.n_intervals(), 3);
+        assert_eq!(m.n_keys(), 2);
+        assert_eq!(m.rate(0, 0), 100.0);
+        assert_eq!(m.rate(0, 1), 50.0);
+        assert_eq!(m.rate(1, 0), 0.0);
+        assert_eq!(m.total(0), 150.0);
+        assert_eq!(m.total(2), 0.0);
+        assert_eq!(m.active(1), 1);
+        assert_eq!(m.key(1), prefix("192.168.0.0/16"));
+        assert_eq!(m.key_id(prefix("10.0.0.0/8")), Some(0));
+        assert_eq!(m.key_id(prefix("10.0.0.0/9")), None);
+        assert_eq!(m.values(0), vec![100.0, 50.0]);
+    }
+
+    #[test]
+    fn from_rate_trace_preserves_everything() {
+        let table = synth::generate(&SynthConfig {
+            n_prefixes: 1_500,
+            ..SynthConfig::default()
+        });
+        let config = WorkloadConfig {
+            n_flows: 300,
+            n_intervals: 20,
+            ..WorkloadConfig::small_test(3)
+        };
+        let trace = eleph_trace::RateTrace::generate(&config, &table);
+        let m = BandwidthMatrix::from_rate_trace(&trace);
+
+        assert_eq!(m.n_intervals(), trace.n_intervals());
+        assert_eq!(m.n_keys(), trace.population.len());
+        assert_eq!(m.interval_secs(), config.interval_secs);
+        assert_eq!(m.start_unix(), config.start_unix);
+        for n in 0..m.n_intervals() {
+            assert_eq!(m.active(n), trace.active_flows(n));
+            assert!((m.total(n) - trace.total(n)).abs() < 1.0);
+            for &(id, r) in trace.interval(n) {
+                let prefix = trace.population.get(id).prefix;
+                let key = m.key_id(prefix).expect("every flow prefix is a key");
+                assert_eq!(m.rate(n, key), f64::from(r));
+            }
+        }
+    }
+
+    #[test]
+    fn totals_accessor_matches_pointwise() {
+        let keys = vec![prefix("10.0.0.0/8")];
+        let intervals = vec![vec![(0u32, 10.0f32)], vec![(0, 20.0)]];
+        let m = BandwidthMatrix::from_parts(60, 0, keys, intervals);
+        assert_eq!(m.totals(), &[10.0, 20.0]);
+    }
+}

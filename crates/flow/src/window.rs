@@ -1,0 +1,71 @@
+//! Busy-period selection.
+
+use std::ops::Range;
+
+/// Find the contiguous window of `window_len` intervals with the highest
+/// total traffic — the paper's "five hour busy period" over which holding
+/// times are computed.
+///
+/// Returns `None` when `window_len` is zero or longer than the series.
+pub fn busiest_window(totals: &[f64], window_len: usize) -> Option<Range<usize>> {
+    if window_len == 0 || window_len > totals.len() {
+        return None;
+    }
+    let mut sum: f64 = totals[..window_len].iter().sum();
+    let mut best_sum = sum;
+    let mut best_start = 0usize;
+    for start in 1..=(totals.len() - window_len) {
+        sum += totals[start + window_len - 1] - totals[start - 1];
+        if sum > best_sum {
+            best_sum = sum;
+            best_start = start;
+        }
+    }
+    Some(best_start..best_start + window_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_peak_window() {
+        let totals = [1.0, 1.0, 5.0, 6.0, 5.0, 1.0, 1.0];
+        assert_eq!(busiest_window(&totals, 3), Some(2..5));
+    }
+
+    #[test]
+    fn whole_series_window() {
+        let totals = [1.0, 2.0, 3.0];
+        assert_eq!(busiest_window(&totals, 3), Some(0..3));
+    }
+
+    #[test]
+    fn single_interval_window() {
+        let totals = [1.0, 9.0, 3.0];
+        assert_eq!(busiest_window(&totals, 1), Some(1..2));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(busiest_window(&[], 1), None);
+        assert_eq!(busiest_window(&[1.0], 0), None);
+        assert_eq!(busiest_window(&[1.0], 2), None);
+    }
+
+    #[test]
+    fn ties_resolve_to_earliest() {
+        let totals = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(busiest_window(&totals, 2), Some(0..2));
+    }
+
+    #[test]
+    fn works_on_diurnal_shape() {
+        // Synthetic diurnal hump peaking at index 30.
+        let totals: Vec<f64> = (0..100)
+            .map(|i| (-((i as f64 - 30.0) / 10.0).powi(2)).exp())
+            .collect();
+        let w = busiest_window(&totals, 11).unwrap();
+        assert_eq!(w, 25..36);
+    }
+}

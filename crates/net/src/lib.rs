@@ -1,0 +1,103 @@
+//! IPv4 addressing and longest-prefix-match (LPM) tables.
+//!
+//! This crate is the routing substrate of the backbone-elephants
+//! reproduction. The paper classifies traffic at the granularity of *BGP
+//! destination network prefixes*: every packet is attributed to the longest
+//! matching routing-table entry for its destination address. Everything
+//! needed for that attribution lives here:
+//!
+//! * [`Prefix`] — a canonical IPv4 CIDR prefix (`10.0.0.0/8`), with the set
+//!   algebra (containment, overlap, parent/children) the rest of the system
+//!   builds on;
+//! * [`Lpm`] — the longest-prefix-match interface, with four interchangeable
+//!   implementations:
+//!   [`LinearLpm`] (naive reference used as a test oracle),
+//!   [`TrieLpm`] (one-bit-per-level binary trie),
+//!   [`CompressedTrieLpm`] (path-compressed radix trie, the production
+//!   default), and [`PerLengthLpm`] (one hash map per prefix length,
+//!   searched longest-first);
+//! * [`PrefixSet`] — an aggregating set of prefixes (used for RIB synthesis
+//!   and the prefix-length analysis of the paper's §III).
+//!
+//! All tables are generic over the attached route value `V`.
+//!
+//! # Example
+//!
+//! ```
+//! use eleph_net::{Prefix, Lpm, CompressedTrieLpm};
+//!
+//! let mut table: CompressedTrieLpm<&str> = CompressedTrieLpm::new();
+//! table.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+//! table.insert("10.1.0.0/16".parse().unwrap(), "fine");
+//!
+//! let (pfx, val) = table.lookup_addr("10.1.2.3".parse().unwrap()).unwrap();
+//! assert_eq!(pfx, "10.1.0.0/16".parse().unwrap());
+//! assert_eq!(*val, "fine");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compressed;
+mod error;
+mod linear;
+mod perlength;
+mod prefix;
+mod set;
+mod trie;
+
+pub use compressed::CompressedTrieLpm;
+pub use error::PrefixError;
+pub use linear::LinearLpm;
+pub use perlength::PerLengthLpm;
+pub use prefix::Prefix;
+pub use set::PrefixSet;
+pub use trie::TrieLpm;
+
+use std::net::Ipv4Addr;
+
+/// Longest-prefix-match table interface.
+///
+/// A table maps [`Prefix`]es to route values `V`; [`Lpm::lookup`] returns
+/// the entry with the longest prefix containing the queried address, which
+/// is exactly the flow key the paper's methodology assigns to a packet.
+pub trait Lpm<V> {
+    /// Insert `value` under `prefix`, returning the previous value if the
+    /// prefix was already present.
+    fn insert(&mut self, prefix: Prefix, value: V) -> Option<V>;
+
+    /// Remove the entry for exactly `prefix` (not covering prefixes),
+    /// returning its value if present.
+    fn remove(&mut self, prefix: Prefix) -> Option<V>;
+
+    /// Exact-match lookup.
+    fn get(&self, prefix: Prefix) -> Option<&V>;
+
+    /// Longest-prefix match for a 32-bit address.
+    fn lookup(&self, addr: u32) -> Option<(Prefix, &V)>;
+
+    /// Longest-prefix match for an [`Ipv4Addr`].
+    fn lookup_addr(&self, addr: Ipv4Addr) -> Option<(Prefix, &V)> {
+        self.lookup(u32::from(addr))
+    }
+
+    /// Number of entries in the table.
+    fn len(&self) -> usize;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Convert an IPv4 dotted-quad to its host-order `u32` representation.
+#[inline]
+pub fn addr_to_u32(addr: Ipv4Addr) -> u32 {
+    u32::from(addr)
+}
+
+/// Convert a host-order `u32` to an IPv4 dotted-quad.
+#[inline]
+pub fn u32_to_addr(bits: u32) -> Ipv4Addr {
+    Ipv4Addr::from(bits)
+}

@@ -1,0 +1,176 @@
+//! LPM via one hash map per prefix length, searched longest-first.
+
+use std::collections::HashMap;
+
+use crate::prefix::mask;
+use crate::{Lpm, Prefix};
+
+/// Longest-prefix match backed by 33 hash maps (one per prefix length).
+///
+/// Lookup masks the address at each *populated* length, longest first, and
+/// probes the corresponding map — at most 33 hash probes, and in practice
+/// only as many as there are distinct lengths in the table (a 2001 backbone
+/// table has ~20). This is the classic software-router scheme; it trades
+/// memory for branch-free probing and is the fastest of our tables for
+/// lookup-heavy workloads (see the `lpm` bench).
+#[derive(Debug, Clone)]
+pub struct PerLengthLpm<V> {
+    maps: Vec<HashMap<u32, V>>,
+    /// Bit `l` set iff `maps[l]` is non-empty; lets lookups skip empty
+    /// lengths without touching the maps.
+    populated: u64,
+    len: usize,
+}
+
+impl<V> Default for PerLengthLpm<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PerLengthLpm<V> {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        PerLengthLpm {
+            maps: (0..=32).map(|_| HashMap::new()).collect(),
+            populated: 0,
+            len: 0,
+        }
+    }
+
+    /// Iterate over all entries, shortest prefixes first, unordered within
+    /// a length.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        self.maps.iter().enumerate().flat_map(|(l, m)| {
+            m.iter().map(move |(bits, v)| {
+                (
+                    Prefix::from_u32(*bits, l as u8).expect("stored prefixes are valid"),
+                    v,
+                )
+            })
+        })
+    }
+
+    /// The distinct prefix lengths currently present, ascending.
+    pub fn populated_lengths(&self) -> Vec<u8> {
+        (0..=32u8).filter(|l| self.populated & (1 << l) != 0).collect()
+    }
+}
+
+impl<V> Lpm<V> for PerLengthLpm<V> {
+    fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let l = prefix.len() as usize;
+        let old = self.maps[l].insert(prefix.bits(), value);
+        if old.is_none() {
+            self.len += 1;
+            self.populated |= 1 << l;
+        }
+        old
+    }
+
+    fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        let l = prefix.len() as usize;
+        let removed = self.maps[l].remove(&prefix.bits());
+        if removed.is_some() {
+            self.len -= 1;
+            if self.maps[l].is_empty() {
+                self.populated &= !(1 << l);
+            }
+        }
+        removed
+    }
+
+    fn get(&self, prefix: Prefix) -> Option<&V> {
+        self.maps[prefix.len() as usize].get(&prefix.bits())
+    }
+
+    fn lookup(&self, addr: u32) -> Option<(Prefix, &V)> {
+        for l in (0..=32u8).rev() {
+            if self.populated & (1 << l) == 0 {
+                continue;
+            }
+            let key = addr & mask(l);
+            if let Some(v) = self.maps[l as usize].get(&key) {
+                let prefix = Prefix::from_u32(key, l).expect("l <= 32");
+                return Some((prefix, v));
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_first_probing() {
+        let mut t = PerLengthLpm::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        let (pfx, v) = t.lookup_addr("10.1.2.3".parse().unwrap()).unwrap();
+        assert_eq!((pfx, *v), (p("10.1.0.0/16"), 16));
+        let (pfx, v) = t.lookup_addr("10.2.2.3".parse().unwrap()).unwrap();
+        assert_eq!((pfx, *v), (p("10.0.0.0/8"), 8));
+        let (pfx, v) = t.lookup_addr("9.9.9.9".parse().unwrap()).unwrap();
+        assert_eq!((pfx, *v), (p("0.0.0.0/0"), 0));
+    }
+
+    #[test]
+    fn populated_mask_tracks_lengths() {
+        let mut t = PerLengthLpm::new();
+        assert!(t.populated_lengths().is_empty());
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("11.0.0.0/8"), 2);
+        t.insert(p("10.1.0.0/16"), 3);
+        assert_eq!(t.populated_lengths(), vec![8, 16]);
+        t.remove(p("10.1.0.0/16"));
+        assert_eq!(t.populated_lengths(), vec![8]);
+        t.remove(p("10.0.0.0/8"));
+        assert_eq!(t.populated_lengths(), vec![8]);
+        t.remove(p("11.0.0.0/8"));
+        assert!(t.populated_lengths().is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_replace_and_get() {
+        let mut t = PerLengthLpm::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut t = PerLengthLpm::new();
+        let inputs = ["0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "1.2.3.4/32"];
+        for s in inputs {
+            t.insert(p(s), ());
+        }
+        let mut got: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn miss_on_empty_and_unmatched() {
+        let mut t: PerLengthLpm<()> = PerLengthLpm::new();
+        assert_eq!(t.lookup(42), None);
+        t.insert(p("10.0.0.0/8"), ());
+        assert!(t.lookup_addr("11.0.0.0".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Sets of prefixes with CIDR aggregation.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use crate::Prefix;
+
+/// An ordered set of [`Prefix`]es.
+///
+/// Beyond the obvious set operations, `PrefixSet` offers
+/// [`aggregate`](PrefixSet::aggregate) (collapse sibling pairs and drop
+/// covered prefixes — used when synthesising RIBs) and
+/// [`length_histogram`](PrefixSet::length_histogram) (the prefix-length
+/// distribution behind the paper's §III observation that elephants sit in
+/// the /12–/26 range).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefixSet {
+    set: BTreeSet<Prefix>,
+}
+
+impl PrefixSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        PrefixSet { set: BTreeSet::new() }
+    }
+
+    /// Insert a prefix; returns `true` if it was not already present.
+    pub fn insert(&mut self, prefix: Prefix) -> bool {
+        self.set.insert(prefix)
+    }
+
+    /// Remove a prefix; returns `true` if it was present.
+    pub fn remove(&mut self, prefix: Prefix) -> bool {
+        self.set.remove(&prefix)
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, prefix: Prefix) -> bool {
+        self.set.contains(&prefix)
+    }
+
+    /// Whether any member prefix contains `addr`.
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        self.set.iter().any(|p| p.contains(addr))
+    }
+
+    /// Whether any member prefix covers `prefix` (including equality).
+    pub fn covers(&self, prefix: Prefix) -> bool {
+        self.set.iter().any(|p| p.contains_prefix(&prefix))
+    }
+
+    /// Number of member prefixes.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterate in sorted (RIB dump) order.
+    pub fn iter(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Histogram of member prefix lengths: index `l` counts the /`l`s.
+    pub fn length_histogram(&self) -> [usize; 33] {
+        let mut hist = [0usize; 33];
+        for p in &self.set {
+            hist[p.len() as usize] += 1;
+        }
+        hist
+    }
+
+    /// Collapse the set to a minimal covering: drop prefixes covered by
+    /// another member, and merge complete sibling pairs into their parent,
+    /// repeating until a fixed point.
+    ///
+    /// The result covers exactly the same addresses with the fewest
+    /// prefixes.
+    pub fn aggregate(&mut self) {
+        loop {
+            self.drop_covered();
+            if !self.merge_siblings() {
+                break;
+            }
+        }
+    }
+
+    /// Remove members covered by a shorter member. Relies on sorted order:
+    /// a covering prefix sorts before everything it covers.
+    fn drop_covered(&mut self) {
+        let mut kept: Vec<Prefix> = Vec::with_capacity(self.set.len());
+        for p in &self.set {
+            match kept.last() {
+                Some(last) if last.contains_prefix(p) => continue,
+                _ => kept.push(*p),
+            }
+        }
+        if kept.len() != self.set.len() {
+            self.set = kept.into_iter().collect();
+        }
+    }
+
+    /// One pass of sibling merging; returns whether anything merged.
+    fn merge_siblings(&mut self) -> bool {
+        let mut merged = false;
+        let mut out: BTreeSet<Prefix> = BTreeSet::new();
+        let mut iter = self.set.iter().copied().peekable();
+        while let Some(p) = iter.next() {
+            if let (Some(sib), Some(next)) = (p.sibling(), iter.peek().copied()) {
+                // A sibling with a greater network address is adjacent in
+                // sorted order.
+                if next == sib {
+                    iter.next();
+                    out.insert(p.parent().expect("non-default has a parent"));
+                    merged = true;
+                    continue;
+                }
+            }
+            out.insert(p);
+        }
+        if merged {
+            self.set = out;
+        }
+        merged
+    }
+}
+
+impl FromIterator<Prefix> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+        PrefixSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Prefix> for PrefixSet {
+    fn extend<I: IntoIterator<Item = Prefix>>(&mut self, iter: I) {
+        self.set.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn set(items: &[&str]) -> PrefixSet {
+        items.iter().map(|s| p(s)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = PrefixSet::new();
+        assert!(s.insert(p("10.0.0.0/8")));
+        assert!(!s.insert(p("10.0.0.0/8")));
+        assert!(s.contains(p("10.0.0.0/8")));
+        assert!(!s.contains(p("10.0.0.0/9")));
+        assert!(s.remove(p("10.0.0.0/8")));
+        assert!(!s.remove(p("10.0.0.0/8")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn addr_and_cover_queries() {
+        let s = set(&["10.0.0.0/8", "192.168.0.0/16"]);
+        assert!(s.contains_addr("10.20.30.40".parse().unwrap()));
+        assert!(!s.contains_addr("11.0.0.1".parse().unwrap()));
+        assert!(s.covers(p("10.1.0.0/16")));
+        assert!(s.covers(p("10.0.0.0/8")));
+        assert!(!s.covers(p("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn aggregate_merges_sibling_pair() {
+        let mut s = set(&["10.0.0.0/9", "10.128.0.0/9"]);
+        s.aggregate();
+        assert_eq!(s, set(&["10.0.0.0/8"]));
+    }
+
+    #[test]
+    fn aggregate_drops_covered() {
+        let mut s = set(&["10.0.0.0/8", "10.1.0.0/16", "10.2.3.0/24"]);
+        s.aggregate();
+        assert_eq!(s, set(&["10.0.0.0/8"]));
+    }
+
+    #[test]
+    fn aggregate_cascades_upward() {
+        // Four /10s collapse to two /9s collapse to one /8.
+        let mut s = set(&["10.0.0.0/10", "10.64.0.0/10", "10.128.0.0/10", "10.192.0.0/10"]);
+        s.aggregate();
+        assert_eq!(s, set(&["10.0.0.0/8"]));
+    }
+
+    #[test]
+    fn aggregate_keeps_non_mergeable() {
+        // 10.0.0.0/9 and 10.128.0.0/10 are not siblings: nothing merges.
+        let mut s = set(&["10.0.0.0/9", "10.128.0.0/10"]);
+        let before = s.clone();
+        s.aggregate();
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn aggregate_mixed_case() {
+        let mut s = set(&[
+            "192.168.0.0/24",
+            "192.168.1.0/24",  // merges with previous into /23
+            "192.168.2.0/24",  // stays: sibling 192.168.3.0/24 absent
+            "10.0.0.0/8",
+            "10.5.0.0/16",     // covered, dropped
+        ]);
+        s.aggregate();
+        assert_eq!(s, set(&["10.0.0.0/8", "192.168.0.0/23", "192.168.2.0/24"]));
+    }
+
+    #[test]
+    fn length_histogram_counts() {
+        let s = set(&["10.0.0.0/8", "11.0.0.0/8", "10.1.0.0/16", "1.2.3.4/32"]);
+        let h = s.length_histogram();
+        assert_eq!(h[8], 2);
+        assert_eq!(h[16], 1);
+        assert_eq!(h[32], 1);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = set(&["10.1.0.0/16", "9.0.0.0/8", "10.0.0.0/8"]);
+        let v: Vec<String> = s.iter().map(|p| p.to_string()).collect();
+        assert_eq!(v, vec!["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! One-bit-per-level binary trie LPM.
+
+use crate::prefix::addr_bit;
+use crate::{Lpm, Prefix};
+
+/// A binary trie with one level per prefix bit.
+///
+/// Simple and fast to mutate; lookups walk at most 32 levels remembering the
+/// last node that carried a value. Memory use is higher than the
+/// path-compressed variant because chains of single-child nodes are stored
+/// explicitly.
+#[derive(Debug, Clone)]
+pub struct TrieLpm<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+
+    fn is_leaf_without_value(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+impl<V> Default for TrieLpm<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> TrieLpm<V> {
+    /// Create an empty trie.
+    pub fn new() -> Self {
+        TrieLpm {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Depth-first iteration over all `(prefix, value)` entries in
+    /// lexicographic (RIB dump) order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            stack: vec![(&self.root, 0u32, 0u8)],
+        }
+    }
+
+    fn remove_rec(node: &mut Node<V>, prefix: &Prefix, depth: u8) -> Option<V> {
+        if depth == prefix.len() {
+            return node.value.take();
+        }
+        let idx = prefix.bit(depth) as usize;
+        let child = node.children[idx].as_mut()?;
+        let removed = Self::remove_rec(child, prefix, depth + 1);
+        if child.is_leaf_without_value() {
+            node.children[idx] = None;
+        }
+        removed
+    }
+}
+
+impl<V> Lpm<V> for TrieLpm<V> {
+    fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let idx = prefix.bit(depth) as usize;
+            node = node.children[idx].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, &prefix, 0);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn get(&self, prefix: Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let idx = prefix.bit(depth) as usize;
+            node = node.children[idx].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    fn lookup(&self, addr: u32) -> Option<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            let idx = addr_bit(addr, depth) as usize;
+            match node.children[idx].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            (
+                Prefix::from_u32(addr, len).expect("len <= 32 by construction"),
+                v,
+            )
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Iterator over trie entries; see [`TrieLpm::iter`].
+pub struct Iter<'a, V> {
+    /// (node, accumulated bits, depth) — pushed right-child-first so the
+    /// left (zero) branch pops first, giving lexicographic order.
+    stack: Vec<(&'a Node<V>, u32, u8)>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, bits, depth)) = self.stack.pop() {
+            if let Some(child) = node.children[1].as_deref() {
+                let bit = 0x8000_0000u32 >> depth;
+                self.stack.push((child, bits | bit, depth + 1));
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                self.stack.push((child, bits, depth + 1));
+            }
+            if let Some(v) = node.value.as_ref() {
+                let prefix = Prefix::from_u32(bits, depth).expect("depth <= 32");
+                return Some((prefix, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match_beats_shorter() {
+        let mut t = TrieLpm::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+
+        let case = |addr: &str| {
+            t.lookup_addr(addr.parse().unwrap())
+                .map(|(p, v)| (p.to_string(), *v))
+                .unwrap()
+        };
+        assert_eq!(case("10.1.2.3"), ("10.1.2.0/24".into(), "twentyfour"));
+        assert_eq!(case("10.1.3.3"), ("10.1.0.0/16".into(), "sixteen"));
+        assert_eq!(case("10.9.9.9"), ("10.0.0.0/8".into(), "eight"));
+        assert_eq!(case("192.0.2.1"), ("0.0.0.0/0".into(), "default"));
+    }
+
+    #[test]
+    fn miss_without_default() {
+        let mut t = TrieLpm::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert!(t.lookup_addr("11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn exact_get_ignores_covering_routes() {
+        let mut t = TrieLpm::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&1));
+        assert_eq!(t.get(p("10.1.0.0/16")), None);
+        assert_eq!(t.get(p("0.0.0.0/0")), None);
+    }
+
+    #[test]
+    fn insert_remove_len_bookkeeping() {
+        let mut t = TrieLpm::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        t.insert(p("10.1.0.0/16"), 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.len(), 1);
+        // the /16 under the removed /8 must still resolve
+        assert!(t.lookup_addr("10.1.0.1".parse().unwrap()).is_some());
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn remove_prunes_dead_branches() {
+        let mut t = TrieLpm::new();
+        t.insert(p("10.1.2.0/24"), 1);
+        t.remove(p("10.1.2.0/24"));
+        // Internal chain should be gone: root must be a bare node again.
+        assert!(t.root.is_leaf_without_value());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = TrieLpm::new();
+        t.insert(Prefix::DEFAULT, 0);
+        assert!(t.lookup(0).is_some());
+        assert!(t.lookup(u32::MAX).is_some());
+    }
+
+    #[test]
+    fn iterates_in_rib_order() {
+        let mut t = TrieLpm::new();
+        for s in ["10.1.0.0/16", "9.0.0.0/8", "10.0.0.0/8", "0.0.0.0/0"] {
+            t.insert(p(s), s.to_string());
+        }
+        let got: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(got, vec!["0.0.0.0/0", "9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16"]);
+    }
+
+    #[test]
+    fn host_routes_at_depth_32() {
+        let mut t = TrieLpm::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        let (pfx, v) = t.lookup_addr("1.2.3.4".parse().unwrap()).unwrap();
+        assert_eq!(pfx, p("1.2.3.4/32"));
+        assert_eq!(*v, "host");
+        assert!(t.lookup_addr("1.2.3.5".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests: every real LPM implementation must agree with the
+//! linear-scan oracle on random tables, and prefix algebra must hold on
+//! random prefixes.
+
+use eleph_net::{
+    CompressedTrieLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, PrefixSet, TrieLpm,
+};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::from_u32(bits, len).unwrap())
+}
+
+/// Random tables skewed toward realistic lengths so nesting actually occurs.
+fn arb_table() -> impl Strategy<Value = Vec<(Prefix, u32)>> {
+    prop::collection::vec(
+        (any::<u32>(), prop_oneof![0u8..=32, 8u8..=24], any::<u32>())
+            .prop_map(|(bits, len, v)| (Prefix::from_u32(bits, len).unwrap(), v)),
+        0..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn prefix_parse_display_round_trip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prefix_contains_own_endpoints(p in arb_prefix()) {
+        prop_assert!(p.contains(p.network()));
+        prop_assert!(p.contains(p.last_addr()));
+        prop_assert!(p.contains_prefix(&p));
+    }
+
+    #[test]
+    fn parent_contains_child(p in arb_prefix()) {
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.contains_prefix(&p));
+            prop_assert_eq!(parent.len() + 1, p.len());
+        }
+        if let Some((l, r)) = p.children() {
+            prop_assert!(p.contains_prefix(&l));
+            prop_assert!(p.contains_prefix(&r));
+            prop_assert!(!l.overlaps(&r));
+            prop_assert_eq!(l.sibling().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn common_prefix_len_is_symmetric_and_bounded(a in arb_prefix(), b in arb_prefix()) {
+        let ab = a.common_prefix_len(&b);
+        prop_assert_eq!(ab, b.common_prefix_len(&a));
+        prop_assert!(ab <= a.len().min(b.len()));
+        // The two blocks agree on their first `ab` bits.
+        let chopped_a = Prefix::from_u32(a.bits(), ab).unwrap();
+        let chopped_b = Prefix::from_u32(b.bits(), ab).unwrap();
+        prop_assert_eq!(chopped_a, chopped_b);
+    }
+
+    #[test]
+    fn all_lpm_impls_agree_with_linear(entries in arb_table(), queries in prop::collection::vec(any::<u32>(), 0..64)) {
+        let mut linear = LinearLpm::new();
+        let mut trie = TrieLpm::new();
+        let mut compressed = CompressedTrieLpm::new();
+        let mut perlen = PerLengthLpm::new();
+        for (p, v) in &entries {
+            linear.insert(*p, *v);
+            trie.insert(*p, *v);
+            compressed.insert(*p, *v);
+            perlen.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.len(), linear.len());
+        prop_assert_eq!(compressed.len(), linear.len());
+        prop_assert_eq!(perlen.len(), linear.len());
+
+        // Probe random addresses plus each entry's own network address
+        // (guaranteed hits).
+        let extra: Vec<u32> = entries.iter().map(|(p, _)| p.bits()).collect();
+        for addr in queries.iter().chain(extra.iter()) {
+            let want = linear.lookup(*addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(trie.lookup(*addr).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(compressed.lookup(*addr).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(perlen.lookup(*addr).map(|(p, v)| (p, *v)), want);
+        }
+    }
+
+    #[test]
+    fn lpm_impls_agree_after_removals(entries in arb_table(), removals in prop::collection::vec(any::<prop::sample::Index>(), 0..16), queries in prop::collection::vec(any::<u32>(), 0..32)) {
+        let mut linear = LinearLpm::new();
+        let mut trie = TrieLpm::new();
+        let mut compressed = CompressedTrieLpm::new();
+        let mut perlen = PerLengthLpm::new();
+        for (p, v) in &entries {
+            linear.insert(*p, *v);
+            trie.insert(*p, *v);
+            compressed.insert(*p, *v);
+            perlen.insert(*p, *v);
+        }
+        if !entries.is_empty() {
+            for idx in removals {
+                let (p, _) = entries[idx.index(entries.len())];
+                let want = linear.remove(p);
+                prop_assert_eq!(trie.remove(p), want);
+                prop_assert_eq!(compressed.remove(p), want);
+                prop_assert_eq!(perlen.remove(p), want);
+            }
+        }
+        prop_assert_eq!(trie.len(), linear.len());
+        prop_assert_eq!(compressed.len(), linear.len());
+        prop_assert_eq!(perlen.len(), linear.len());
+        for addr in &queries {
+            let want = linear.lookup(*addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(trie.lookup(*addr).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(compressed.lookup(*addr).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(perlen.lookup(*addr).map(|(p, v)| (p, *v)), want);
+        }
+    }
+
+    #[test]
+    fn iteration_yields_every_inserted_entry(entries in arb_table()) {
+        let mut compressed = CompressedTrieLpm::new();
+        let mut expected: std::collections::BTreeMap<Prefix, u32> = Default::default();
+        for (p, v) in &entries {
+            compressed.insert(*p, *v);
+            expected.insert(*p, *v);
+        }
+        let got: std::collections::BTreeMap<Prefix, u32> =
+            compressed.iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(got, expected);
+
+        // And iteration order is sorted.
+        let order: Vec<Prefix> = compressed.iter().map(|(p, _)| p).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn aggregation_preserves_address_coverage(prefixes in prop::collection::vec(arb_prefix(), 0..24), probes in prop::collection::vec(any::<u32>(), 0..64)) {
+        let original: PrefixSet = prefixes.iter().copied().collect();
+        let mut aggregated = original.clone();
+        aggregated.aggregate();
+        prop_assert!(aggregated.len() <= original.len());
+        // Coverage must be identical at the member network addresses and at
+        // random probe addresses.
+        for p in original.iter() {
+            prop_assert!(aggregated.covers(p), "aggregation lost {}", p);
+        }
+        for bits in probes {
+            let addr = std::net::Ipv4Addr::from(bits);
+            prop_assert_eq!(original.contains_addr(addr), aggregated.contains_addr(addr));
+        }
+    }
+
+    #[test]
+    fn aggregation_is_idempotent(prefixes in prop::collection::vec(arb_prefix(), 0..24)) {
+        let mut once: PrefixSet = prefixes.iter().copied().collect();
+        once.aggregate();
+        let mut twice = once.clone();
+        twice.aggregate();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,410 @@
+//! Classic libpcap capture files.
+//!
+//! Implements the format described at
+//! <https://wiki.wireshark.org/Development/LibpcapFileFormat>: a 24-byte
+//! global header (magic, version, snaplen, linktype) followed by records,
+//! each with a 16-byte header (seconds, sub-seconds, captured length,
+//! original length). Both byte orders and both timestamp resolutions
+//! (microseconds, magic `0xa1b2c3d4`; nanoseconds, magic `0xa1b23c4d`) are
+//! read; the writer emits little-endian files at a chosen resolution.
+//!
+//! Timestamps are normalised to **nanoseconds since the epoch** (`u64`) on
+//! both paths, so the rest of the system never sees the resolution.
+
+use std::io::{Read, Write};
+
+use bytes::Bytes;
+
+use crate::{PacketError, Result};
+
+/// Magic number for microsecond-resolution files.
+pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+/// Magic number for nanosecond-resolution files.
+pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+
+/// Captured lengths above this are treated as file corruption rather than
+/// honoured with a giant allocation.
+pub const MAX_SANE_CAPLEN: u32 = 1 << 26; // 64 MiB
+
+/// Timestamp resolution of a capture file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsResolution {
+    /// Microsecond sub-second field (classic).
+    Micro,
+    /// Nanosecond sub-second field.
+    Nano,
+}
+
+/// Parsed global header of a capture file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcapHeader {
+    /// Timestamp resolution encoded by the magic.
+    pub resolution: TsResolution,
+    /// Whether the file's byte order is opposite to this host's reader
+    /// (i.e. the magic arrived byte-swapped).
+    pub swapped: bool,
+    /// Snap length: maximum captured bytes per packet.
+    pub snaplen: u32,
+    /// Link type (1 = Ethernet, 101 = raw IP, ...).
+    pub linktype: u32,
+}
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture timestamp in nanoseconds since the epoch.
+    pub ts_ns: u64,
+    /// Original on-the-wire length (≥ `data.len()` when truncated by the
+    /// snap length). Bandwidth accounting must use this, not the captured
+    /// length.
+    pub orig_len: u32,
+    /// Captured bytes.
+    pub data: Bytes,
+}
+
+/// Streaming writer for little-endian capture files.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    out: W,
+    resolution: TsResolution,
+    snaplen: u32,
+    records: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer with microsecond resolution and a 64 KiB snap length.
+    pub fn new(out: W, linktype: u32) -> Result<Self> {
+        Self::with_options(out, linktype, TsResolution::Micro, 65535)
+    }
+
+    /// Create a writer choosing resolution and snap length.
+    pub fn with_options(
+        mut out: W,
+        linktype: u32,
+        resolution: TsResolution,
+        snaplen: u32,
+    ) -> Result<Self> {
+        let magic = match resolution {
+            TsResolution::Micro => MAGIC_MICROS,
+            TsResolution::Nano => MAGIC_NANOS,
+        };
+        out.write_all(&magic.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&snaplen.to_le_bytes())?;
+        out.write_all(&linktype.to_le_bytes())?;
+        Ok(PcapWriter {
+            out,
+            resolution,
+            snaplen,
+            records: 0,
+        })
+    }
+
+    /// Append one packet. `data` is truncated to the snap length; the
+    /// original length recorded is `orig_len` (pass `data.len()` when the
+    /// packet is complete).
+    pub fn write_record(&mut self, ts_ns: u64, orig_len: u32, data: &[u8]) -> Result<()> {
+        let captured = data.len().min(self.snaplen as usize);
+        let secs = (ts_ns / 1_000_000_000) as u32;
+        let subsec = match self.resolution {
+            TsResolution::Micro => (ts_ns % 1_000_000_000) / 1_000,
+            TsResolution::Nano => ts_ns % 1_000_000_000,
+        } as u32;
+        self.out.write_all(&secs.to_le_bytes())?;
+        self.out.write_all(&subsec.to_le_bytes())?;
+        self.out.write_all(&(captured as u32).to_le_bytes())?;
+        self.out.write_all(&orig_len.to_le_bytes())?;
+        self.out.write_all(&data[..captured])?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader for capture files of either byte order and resolution.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    input: R,
+    header: PcapHeader,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Parse the global header and position the reader at the first record.
+    pub fn new(mut input: R) -> Result<Self> {
+        let mut head = [0u8; 24];
+        input.read_exact(&mut head)?;
+        let magic_le = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
+        let (resolution, swapped) = match magic_le {
+            MAGIC_MICROS => (TsResolution::Micro, false),
+            MAGIC_NANOS => (TsResolution::Nano, false),
+            m if m.swap_bytes() == MAGIC_MICROS => (TsResolution::Micro, true),
+            m if m.swap_bytes() == MAGIC_NANOS => (TsResolution::Nano, true),
+            m => return Err(PacketError::BadMagic(m)),
+        };
+        let u32_at = |bytes: &[u8]| {
+            let raw = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+            if swapped {
+                raw.swap_bytes()
+            } else {
+                raw
+            }
+        };
+        let snaplen = u32_at(&head[16..20]);
+        let linktype = u32_at(&head[20..24]);
+        Ok(PcapReader {
+            input,
+            header: PcapHeader {
+                resolution,
+                swapped,
+                snaplen,
+                linktype,
+            },
+        })
+    }
+
+    /// The parsed global header.
+    pub fn header(&self) -> PcapHeader {
+        self.header
+    }
+
+    /// Read the next record; `Ok(None)` on clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let mut rec_head = [0u8; 16];
+        match read_exact_or_eof(&mut self.input, &mut rec_head)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial(got) => {
+                return Err(PacketError::Truncated { needed: 16, got });
+            }
+            ReadOutcome::Full => {}
+        }
+        let u32_at = |bytes: &[u8]| {
+            let raw = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+            if self.header.swapped {
+                raw.swap_bytes()
+            } else {
+                raw
+            }
+        };
+        let secs = u32_at(&rec_head[0..4]) as u64;
+        let subsec = u32_at(&rec_head[4..8]) as u64;
+        let caplen = u32_at(&rec_head[8..12]);
+        let orig_len = u32_at(&rec_head[12..16]);
+        if caplen > MAX_SANE_CAPLEN {
+            return Err(PacketError::ImplausibleCaptureLen(caplen));
+        }
+        let mut data = vec![0u8; caplen as usize];
+        self.input.read_exact(&mut data)?;
+        let ts_ns = match self.header.resolution {
+            TsResolution::Micro => secs * 1_000_000_000 + subsec * 1_000,
+            TsResolution::Nano => secs * 1_000_000_000 + subsec,
+        };
+        Ok(Some(PcapRecord {
+            ts_ns,
+            orig_len,
+            data: Bytes::from(data),
+        }))
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<PcapRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial(usize),
+    Eof,
+}
+
+/// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF)
+/// from "some bytes then EOF" (truncated file).
+fn read_exact_or_eof<R: Read>(input: &mut R, buf: &mut [u8]) -> Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial(filled)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(resolution: TsResolution) {
+        let mut buf = Vec::new();
+        {
+            let mut w =
+                PcapWriter::with_options(&mut buf, 1, resolution, 65535).unwrap();
+            w.write_record(1_000_000_123_456_789, 100, &[1, 2, 3, 4]).unwrap();
+            w.write_record(1_000_000_999_999_000, 4, &[9, 8, 7, 6]).unwrap();
+            assert_eq!(w.records_written(), 2);
+            w.finish().unwrap();
+        }
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.header().linktype, 1);
+        assert_eq!(r.header().resolution, resolution);
+        assert!(!r.header().swapped);
+
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.orig_len, 100);
+        assert_eq!(&rec.data[..], &[1, 2, 3, 4]);
+        match resolution {
+            TsResolution::Nano => assert_eq!(rec.ts_ns, 1_000_000_123_456_789),
+            // Microsecond files round sub-µs digits away.
+            TsResolution::Micro => assert_eq!(rec.ts_ns, 1_000_000_123_456_000),
+        }
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(&rec.data[..], &[9, 8, 7, 6]);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn micro_round_trip() {
+        round_trip(TsResolution::Micro);
+    }
+
+    #[test]
+    fn nano_round_trip() {
+        round_trip(TsResolution::Nano);
+    }
+
+    #[test]
+    fn reads_big_endian_files() {
+        // Hand-build a big-endian microsecond file with one 2-byte record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICROS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&1500u32.to_be_bytes());
+        buf.extend_from_slice(&101u32.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&5u32.to_be_bytes()); // µs
+        buf.extend_from_slice(&2u32.to_be_bytes()); // caplen
+        buf.extend_from_slice(&60u32.to_be_bytes()); // origlen
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let h = r.header();
+        assert!(h.swapped);
+        assert_eq!(h.snaplen, 1500);
+        assert_eq!(h.linktype, 101);
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_ns, 7_000_005_000);
+        assert_eq!(rec.orig_len, 60);
+        assert_eq!(&rec.data[..], &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn snaplen_truncates_but_keeps_orig_len() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::with_options(&mut buf, 1, TsResolution::Micro, 8).unwrap();
+        let payload = [0x55u8; 32];
+        w.write_record(0, 32, &payload).unwrap();
+        w.finish().unwrap();
+
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.data.len(), 8);
+        assert_eq!(rec.orig_len, 32);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; 24];
+        assert!(matches!(
+            PcapReader::new(&buf[..]).unwrap_err(),
+            PacketError::BadMagic(0)
+        ));
+    }
+
+    #[test]
+    fn truncated_global_header_rejected() {
+        let buf = [0u8; 10];
+        assert!(matches!(PcapReader::new(&buf[..]).unwrap_err(), PacketError::Io(_)));
+    }
+
+    #[test]
+    fn truncated_record_header_detected() {
+        let mut buf = Vec::new();
+        let w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.finish().unwrap();
+        buf.extend_from_slice(&[0u8; 7]); // garbage partial record header
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(
+            r.next_record().unwrap_err(),
+            PacketError::Truncated { needed: 16, got: 7 }
+        ));
+    }
+
+    #[test]
+    fn truncated_record_body_detected() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.write_record(0, 4, &[1, 2, 3, 4]).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(r.next_record().unwrap_err(), PacketError::Io(_)));
+    }
+
+    #[test]
+    fn implausible_caplen_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        let w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.finish().unwrap();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // caplen = 4 GiB
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(
+            r.next_record().unwrap_err(),
+            PacketError::ImplausibleCaptureLen(_)
+        ));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        for i in 0..5u8 {
+            w.write_record(u64::from(i) * 1_000, 1, &[i]).unwrap();
+        }
+        w.finish().unwrap();
+        let r = PcapReader::new(&buf[..]).unwrap();
+        let records: Result<Vec<_>> = r.collect();
+        let records = records.unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(&records[3].data[..], &[3]);
+    }
+}

@@ -1,0 +1,9 @@
+//! A3: constant-load beta ablation.
+
+use eleph_report::experiments::{ablation_beta, cli_scale_seed};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    print!("{}", ablation_beta(scale, seed)?.render());
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! A1: threshold-smoothing (gamma) ablation.
+
+use eleph_report::experiments::{ablation_gamma, cli_scale_seed};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    print!("{}", ablation_gamma(scale, seed)?.render());
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! A4: persistence-mechanism ablation (latent heat vs hysteresis).
+
+use eleph_report::experiments::{ablation_scheme, cli_scale_seed};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    print!("{}", ablation_scheme(scale, seed)?.render());
+    Ok(())
+}

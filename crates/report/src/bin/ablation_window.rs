@@ -1,0 +1,9 @@
+//! A2: latent-heat window ablation.
+
+use eleph_report::experiments::{ablation_window, cli_scale_seed};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    print!("{}", ablation_window(scale, seed)?.render());
+    Ok(())
+}

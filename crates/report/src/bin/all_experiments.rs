@@ -1,0 +1,22 @@
+//! Run every experiment in sequence (the full EXPERIMENTS.md refresh).
+
+use eleph_report::experiments::*;
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    let data = fig1_data(scale, seed);
+    for out in [fig1a(&data)?, fig1b(&data)?, fig1c(&data)?, table2(&data)?, table3(&data)?] {
+        println!("{}", out.render());
+    }
+    for out in [
+        table1(scale, seed)?,
+        table4(scale, seed)?,
+        ablation_gamma(scale, seed)?,
+        ablation_window(scale, seed)?,
+        ablation_beta(scale, seed)?,
+        ablation_scheme(scale, seed)?,
+    ] {
+        println!("{}", out.render());
+    }
+    Ok(())
+}

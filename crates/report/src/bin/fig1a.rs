@@ -1,0 +1,10 @@
+//! Regenerate Figure 1(a): number of elephants per 5-minute interval.
+
+use eleph_report::experiments::{cli_scale_seed, fig1_data, fig1a};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    let data = fig1_data(scale, seed);
+    print!("{}", fig1a(&data)?.render());
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 1(b): fraction of traffic apportioned to elephants.
+
+use eleph_report::experiments::{cli_scale_seed, fig1_data, fig1b};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    let data = fig1_data(scale, seed);
+    print!("{}", fig1b(&data)?.render());
+    Ok(())
+}

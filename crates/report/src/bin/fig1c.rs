@@ -1,0 +1,10 @@
+//! Regenerate Figure 1(c): holding-time histogram over the busy period.
+
+use eleph_report::experiments::{cli_scale_seed, fig1_data, fig1c};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    let data = fig1_data(scale, seed);
+    print!("{}", fig1c(&data)?.render());
+    Ok(())
+}

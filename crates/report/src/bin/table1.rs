@@ -1,0 +1,9 @@
+//! Regenerate T1: single-feature volatility (§II in-text numbers).
+
+use eleph_report::experiments::{cli_scale_seed, table1};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    print!("{}", table1(scale, seed)?.render());
+    Ok(())
+}

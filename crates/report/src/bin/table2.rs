@@ -1,0 +1,10 @@
+//! Regenerate T2: latent-heat improvements (§III in-text numbers).
+
+use eleph_report::experiments::{cli_scale_seed, fig1_data, table2};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    let data = fig1_data(scale, seed);
+    print!("{}", table2(&data)?.render());
+    Ok(())
+}

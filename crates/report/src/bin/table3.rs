@@ -1,0 +1,10 @@
+//! Regenerate T3: prefix-length analysis (§III in-text numbers).
+
+use eleph_report::experiments::{cli_scale_seed, fig1_data, table3};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    let data = fig1_data(scale, seed);
+    print!("{}", table3(&data)?.render());
+    Ok(())
+}

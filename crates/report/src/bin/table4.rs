@@ -1,0 +1,9 @@
+//! Regenerate T4: sensitivity to the measurement interval T (§II).
+
+use eleph_report::experiments::{cli_scale_seed, table4};
+
+fn main() -> std::io::Result<()> {
+    let (scale, seed) = cli_scale_seed();
+    print!("{}", table4(scale, seed)?.render());
+    Ok(())
+}

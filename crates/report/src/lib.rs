@@ -1,0 +1,198 @@
+//! Experiment harness: regenerate every figure and table of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one result — see DESIGN.md §4 for
+//! the full experiment index. All of them share the machinery here:
+//!
+//! * [`Scenario`] — the paper's west-coast and east-coast OC-12 setups
+//!   (synthetic BGP table + synthetic workload), with a
+//!   [`Scenario::scaled`] knob so tests can run a miniature version;
+//! * [`SchemeSpec`] — the classification configurations under study
+//!   (aest vs 0.8-constant-load, single-feature vs latent heat);
+//! * [`run`] — classify a scenario with a scheme;
+//! * [`emit`] — ASCII tables for stdout and CSV files under
+//!   `target/experiments/` for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod experiments;
+
+use eleph_bgp::synth::SynthConfig;
+use eleph_bgp::BgpTable;
+use eleph_core::{
+    classify, AestDetector, ClassificationResult, ConstantLoadDetector, Scheme, PAPER_BETA,
+    PAPER_GAMMA, PAPER_LATENT_WINDOW,
+};
+use eleph_flow::BandwidthMatrix;
+use eleph_trace::{RateTrace, WorkloadConfig};
+
+/// A fully specified experimental setup: one link, one table, one
+/// workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name used in file names and table headers.
+    pub name: String,
+    /// The synthetic routing table configuration.
+    pub table: SynthConfig,
+    /// The synthetic workload configuration.
+    pub workload: WorkloadConfig,
+    /// Length of the holding-time busy period, in intervals (paper: 5 h
+    /// = 60 five-minute slots).
+    pub busy_slots: usize,
+}
+
+impl Scenario {
+    /// The paper's west-coast OC-12 link.
+    pub fn west(seed: u64) -> Self {
+        Scenario {
+            name: "west".to_string(),
+            table: SynthConfig::default(),
+            workload: WorkloadConfig::paper_west(seed),
+            busy_slots: 60,
+        }
+    }
+
+    /// The paper's east-coast OC-12 link.
+    pub fn east(seed: u64) -> Self {
+        Scenario {
+            name: "east".to_string(),
+            table: SynthConfig::default(),
+            workload: WorkloadConfig::paper_east(seed),
+            busy_slots: 60,
+        }
+    }
+
+    /// Shrink the scenario by `factor` (0 < factor ≤ 1): fewer flows and
+    /// a smaller table, same temporal structure. Used by tests and quick
+    /// runs; figures use factor 1.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0);
+        self.workload.n_flows = ((self.workload.n_flows as f64 * factor) as usize).max(200);
+        self.table.n_prefixes = (self.workload.n_flows * 3).max(2_000);
+        self
+    }
+
+    /// Generate table, trace and matrix. Deterministic in the embedded
+    /// seeds.
+    pub fn build(&self) -> ScenarioData {
+        let table = eleph_bgp::synth::generate(&self.table);
+        let trace = RateTrace::generate(&self.workload, &table);
+        let matrix = BandwidthMatrix::from_rate_trace(&trace);
+        ScenarioData {
+            table,
+            trace,
+            matrix,
+        }
+    }
+
+    /// The busy-period window of a built matrix: the `busy_slots`
+    /// consecutive intervals with the highest total traffic.
+    pub fn busy_window(&self, matrix: &BandwidthMatrix) -> std::ops::Range<usize> {
+        eleph_flow::busiest_window(matrix.totals(), self.busy_slots.min(matrix.n_intervals()))
+            .expect("busy window fits the trace")
+    }
+}
+
+/// The generated artefacts of a scenario.
+#[derive(Debug)]
+pub struct ScenarioData {
+    /// The routing table.
+    pub table: BgpTable,
+    /// The rate-level trace.
+    pub trace: RateTrace,
+    /// The bandwidth matrix the classifiers consume.
+    pub matrix: BandwidthMatrix,
+}
+
+/// Which threshold detector to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Crovella–Taqqu tail-onset threshold.
+    Aest,
+    /// β-constant-load threshold with the paper's β = 0.8.
+    ConstantLoad,
+}
+
+impl DetectorKind {
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorKind::Aest => "aest",
+            DetectorKind::ConstantLoad => "constant load",
+        }
+    }
+}
+
+/// A complete classification configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeSpec {
+    /// Threshold rule.
+    pub detector: DetectorKind,
+    /// EWMA smoothing factor γ.
+    pub gamma: f64,
+    /// `None` = single-feature; `Some(w)` = latent heat over w slots.
+    pub latent_window: Option<usize>,
+}
+
+impl SchemeSpec {
+    /// The paper's headline configuration: latent heat over the given
+    /// detector.
+    pub fn paper(detector: DetectorKind) -> Self {
+        SchemeSpec {
+            detector,
+            gamma: PAPER_GAMMA,
+            latent_window: Some(PAPER_LATENT_WINDOW),
+        }
+    }
+
+    /// The §II single-feature configuration.
+    pub fn single(detector: DetectorKind) -> Self {
+        SchemeSpec {
+            detector,
+            gamma: PAPER_GAMMA,
+            latent_window: None,
+        }
+    }
+
+    /// Label like "aest+LH12" for tables.
+    pub fn label(&self) -> String {
+        match self.latent_window {
+            Some(w) => format!("{}+LH{}", self.detector.label(), w),
+            None => format!("{} single", self.detector.label()),
+        }
+    }
+}
+
+/// Run a classification configuration over a matrix.
+pub fn run(matrix: &BandwidthMatrix, spec: SchemeSpec) -> ClassificationResult {
+    let scheme = match spec.latent_window {
+        Some(window) => Scheme::LatentHeat { window },
+        None => Scheme::SingleFeature,
+    };
+    match spec.detector {
+        DetectorKind::Aest => classify(matrix, AestDetector::new(), spec.gamma, scheme),
+        DetectorKind::ConstantLoad => classify(
+            matrix,
+            ConstantLoadDetector::new(PAPER_BETA),
+            spec.gamma,
+            scheme,
+        ),
+    }
+}
+
+/// Run several configurations in parallel over (possibly different)
+/// matrices, preserving input order.
+pub fn run_many(jobs: &[(&BandwidthMatrix, SchemeSpec)]) -> Vec<ClassificationResult> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(m, spec)| s.spawn(move |_| run(m, *spec)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("classification does not panic"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}

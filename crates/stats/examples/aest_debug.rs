@@ -1,0 +1,61 @@
+//! Diagnostic dump of aest probe decisions (development aid).
+
+use eleph_stats::dist::{LogNormal, Pareto, Sample};
+use eleph_stats::{aest, AestConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dump(name: &str, xs: &[f64]) {
+    println!("=== {name} ===");
+    match aest(xs, &AestConfig::default()) {
+        Err(e) => println!("  -> {e}"),
+        Ok(res) => {
+            println!(
+                "  -> alpha {:.3} tail_start {:.3} tail_fraction {:.4} levels {}",
+                res.alpha, res.tail_start, res.tail_fraction, res.levels
+            );
+            let mut by_p: std::collections::BTreeMap<u64, Vec<(usize, f64, f64, bool)>> =
+                Default::default();
+            for d in &res.diagnostics {
+                by_p.entry((d.p * 1e9) as u64).or_default().push((
+                    d.level,
+                    d.alpha_shift,
+                    d.alpha_slope,
+                    d.accepted,
+                ));
+            }
+            for (pk, v) in by_p {
+                let p = pk as f64 / 1e9;
+                let acc = v.iter().filter(|x| x.3).count();
+                let marks: Vec<String> = v
+                    .iter()
+                    .map(|(l, a, s, ok)| {
+                        format!("L{l}:{}{:.2}/{:.2}", if *ok { "+" } else { "-" }, a, s)
+                    })
+                    .collect();
+                println!("  p={p:.4} acc={acc}/{} {}", v.len(), marks.join(" "));
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let body = LogNormal::new(1.0, 0.7).unwrap();
+    let tail = Pareto::new(50.0, 1.3).unwrap();
+    let xs: Vec<f64> = (0..80_000)
+        .map(|i| {
+            if i % 10 == 0 {
+                tail.sample(&mut rng)
+            } else {
+                body.sample(&mut rng)
+            }
+        })
+        .collect();
+    dump("mixture", &xs);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let p18 = Pareto::new(1.0, 1.8).unwrap();
+    let xs: Vec<f64> = (0..60_000).map(|_| p18.sample(&mut rng)).collect();
+    dump("pareto 1.8", &xs);
+}

@@ -1,0 +1,153 @@
+//! The Hill tail-index estimator.
+
+use crate::StatsError;
+
+/// Hill's estimator of the tail index α over the top `k` order statistics.
+///
+/// For samples `x_(1) ≥ x_(2) ≥ … ≥ x_(n)`:
+/// `α̂ = k / Σ_{i=1..k} ln(x_(i) / x_(k+1))`.
+///
+/// A classical benchmark for the aest estimator; unlike aest it requires
+/// choosing `k` and assumes the top-k region is already in the power law.
+pub fn hill_estimator(samples: &[f64], k: usize) -> Result<f64, StatsError> {
+    if k == 0 || samples.len() < k + 1 {
+        return Err(StatsError::NotEnoughSamples {
+            needed: k + 1,
+            got: samples.len(),
+        });
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let pivot = sorted[k];
+    if pivot <= 0.0 {
+        return Err(StatsError::NonPositiveSample(pivot));
+    }
+    let sum: f64 = sorted[..k].iter().map(|x| (x / pivot).ln()).sum();
+    if sum <= 0.0 {
+        // All top-k equal to the pivot: no tail information.
+        return Err(StatsError::NoTailFound);
+    }
+    Ok(k as f64 / sum)
+}
+
+/// The Hill plot: `(k, α̂(k))` for k in `[k_min, k_max]`.
+///
+/// Inspecting where the plot flattens is the traditional way of choosing
+/// `k`; the ablation benches use it to sanity-check aest's α̂.
+pub fn hill_plot(
+    samples: &[f64],
+    k_min: usize,
+    k_max: usize,
+) -> Result<Vec<(usize, f64)>, StatsError> {
+    if k_min == 0 || k_max < k_min {
+        return Err(StatsError::BadParameter {
+            name: "k_range",
+            value: k_min as f64,
+        });
+    }
+    if samples.len() < k_max + 1 {
+        return Err(StatsError::NotEnoughSamples {
+            needed: k_max + 1,
+            got: samples.len(),
+        });
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = Vec::with_capacity(k_max - k_min + 1);
+    // Incremental log-sums keep the plot O(n log n + k_max).
+    let mut log_sum = 0.0;
+    for i in 0..k_max {
+        if sorted[i] <= 0.0 {
+            return Err(StatsError::NonPositiveSample(sorted[i]));
+        }
+        log_sum += sorted[i].ln();
+        let k = i + 1;
+        if k >= k_min {
+            let pivot = sorted[k];
+            if pivot <= 0.0 {
+                return Err(StatsError::NonPositiveSample(pivot));
+            }
+            let denom = log_sum - k as f64 * pivot.ln();
+            if denom > 0.0 {
+                out.push((k, k as f64 / denom));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Pareto, Sample};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pareto_samples(alpha: f64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Pareto::new(1.0, alpha).unwrap();
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_pareto_alpha() {
+        for alpha in [0.8, 1.2, 1.8] {
+            let xs = pareto_samples(alpha, 50_000);
+            let est = hill_estimator(&xs, 2_000).unwrap();
+            assert!(
+                (est - alpha).abs() / alpha < 0.1,
+                "alpha {alpha}: estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn plot_flattens_for_pure_pareto() {
+        let xs = pareto_samples(1.5, 50_000);
+        let plot = hill_plot(&xs, 500, 2_000).unwrap();
+        // Every point in this range should be near the true α.
+        for (k, a) in &plot {
+            assert!((a - 1.5).abs() < 0.3, "k={k} alpha={a}");
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(
+            hill_estimator(&[1.0, 2.0], 5),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        assert!(matches!(
+            hill_estimator(&[1.0, 2.0, 3.0], 0),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        assert!(matches!(
+            hill_estimator(&[0.0, 0.0, 0.0, 0.0], 2),
+            Err(StatsError::NonPositiveSample(_)) | Err(StatsError::NoTailFound)
+        ));
+        assert!(hill_plot(&[1.0; 10], 0, 5).is_err());
+        assert!(hill_plot(&[1.0; 10], 5, 3).is_err());
+        assert!(matches!(
+            hill_plot(&[1.0; 4], 1, 5),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_samples_have_no_tail() {
+        assert!(matches!(
+            hill_estimator(&[7.0; 100], 10),
+            Err(StatsError::NoTailFound)
+        ));
+    }
+
+    #[test]
+    fn plot_matches_pointwise_estimator() {
+        let xs = pareto_samples(1.3, 5_000);
+        let plot = hill_plot(&xs, 100, 200).unwrap();
+        for (k, a) in plot {
+            let direct = hill_estimator(&xs, k).unwrap();
+            assert!((a - direct).abs() < 1e-9, "k={k}");
+        }
+    }
+}

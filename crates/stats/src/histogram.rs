@@ -1,0 +1,272 @@
+//! Linear- and log-binned histograms.
+
+use crate::StatsError;
+
+/// Fixed-width linear histogram over `[lo, hi)` with saturation counters
+/// for out-of-range values.
+///
+/// Figure 1(c) of the paper is exactly this structure: holding times
+/// binned in 5-minute slots with occurrence counts plotted on a log axis.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(hi > lo) {
+            return Err(StatsError::BadParameter { name: "hi", value: hi });
+        }
+        if bins == 0 {
+            return Err(StatsError::BadParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Floating point can round x at the upper edge into `bins`.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` interval of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (
+            self.lo + width * i as f64,
+            self.lo + width * (i + 1) as f64,
+        )
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_range(i);
+        (a + b) / 2.0
+    }
+}
+
+/// Logarithmically binned histogram over positive values: bin `i` covers
+/// `[base^i·lo, base^(i+1)·lo)`.
+///
+/// Used for flow-size and bandwidth distributions, which span 6+ orders of
+/// magnitude on a backbone link.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    lo: f64,
+    base: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram with `bins` bins starting at `lo > 0`, each
+    /// `base` (> 1) times wider than the previous.
+    pub fn new(lo: f64, base: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(lo > 0.0) {
+            return Err(StatsError::BadParameter { name: "lo", value: lo });
+        }
+        if !(base > 1.0) {
+            return Err(StatsError::BadParameter {
+                name: "base",
+                value: base,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::BadParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        Ok(LogHistogram {
+            lo,
+            base,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Record one observation (non-positive values count as underflow).
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.base.ln()).floor() as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `lo` (including non-positive).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` interval of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        (
+            self.lo * self.base.powi(i as i32),
+            self.lo * self.base.powi(i as i32 + 1),
+        )
+    }
+
+    /// Geometric midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_range(i);
+        (a * b).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn linear_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(10.0);
+        h.record(1e9);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn linear_bin_geometry() {
+        let h = Histogram::new(10.0, 20.0, 4).unwrap();
+        assert_eq!(h.bin_range(0), (10.0, 12.5));
+        assert_eq!(h.bin_range(3), (17.5, 20.0));
+        assert_eq!(h.bin_center(1), 13.75);
+    }
+
+    #[test]
+    fn linear_rejects_bad_params() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn log_binning_decades() {
+        let mut h = LogHistogram::new(1.0, 10.0, 4).unwrap();
+        for x in [1.0, 5.0, 10.0, 99.0, 100.0, 5000.0] {
+            h.record(x);
+        }
+        // [1,10): 1, 5 | [10,100): 10, 99 | [100,1000): 100 | [1000,10000): 5000
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn log_out_of_range() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2).unwrap();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(0.5);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 3);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn log_bin_geometry() {
+        let h = LogHistogram::new(1.0, 10.0, 3).unwrap();
+        let (a, b) = h.bin_range(2);
+        assert!((a - 100.0).abs() < 1e-9);
+        assert!((b - 1000.0).abs() < 1e-9);
+        assert!((h.bin_center(0) - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_rejects_bad_params() {
+        assert!(LogHistogram::new(0.0, 10.0, 3).is_err());
+        assert!(LogHistogram::new(-1.0, 10.0, 3).is_err());
+        assert!(LogHistogram::new(1.0, 1.0, 3).is_err());
+        assert!(LogHistogram::new(1.0, 10.0, 0).is_err());
+    }
+
+    #[test]
+    fn edge_value_exactly_at_upper_bound() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        let h = h.as_mut().unwrap();
+        h.record(1.0 - 1e-16); // rounds to 1.0/width = 10 → clamp to bin 9
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Ordinary least squares on (x, y) pairs.
+
+use crate::StatsError;
+
+/// A fitted line `y = intercept + slope·x` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² ∈ [0, 1].
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Least-squares fit over at least two points with distinct x values.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, StatsError> {
+        if points.len() < 2 {
+            return Err(StatsError::NotEnoughSamples {
+                needed: 2,
+                got: points.len(),
+            });
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (x, y) in points {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::BadParameter {
+                name: "x-variance",
+                value: 0.0,
+            });
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r2 = if syy == 0.0 {
+            1.0 // all residuals zero on a flat line
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Ok(LinearFit { slope, intercept, r2 })
+    }
+
+    /// Evaluate the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 - 2.0 * i as f64)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope + 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.predict(100.0) + 197.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_approximate() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                // deterministic "noise" with zero-ish mean
+                let noise = ((i * 37) % 7) as f64 / 7.0 - 0.5;
+                (x, 1.0 + 0.5 * x + 0.1 * noise)
+            })
+            .collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 0.5).abs() < 0.02);
+        assert!((fit.intercept - 1.0).abs() < 0.05);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn flat_line_r2_is_one() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(matches!(
+            LinearFit::fit(&[(1.0, 2.0)]),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        assert!(matches!(
+            LinearFit::fit(&[(1.0, 2.0), (1.0, 3.0)]),
+            Err(StatsError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn uncorrelated_r2_near_zero() {
+        // Symmetric V shape: slope ≈ 0 and R² ≈ 0.
+        let pts = [(-2.0, 4.0), (-1.0, 1.0), (0.0, 0.0), (1.0, 1.0), (2.0, 4.0)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        assert!(fit.r2 < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Streaming summary statistics.
+
+/// Single-pass accumulator for mean, variance, extrema and totals,
+/// using Welford's algorithm for numerical stability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Accumulate all values of a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Coefficient of variation (σ/μ); `None` when the mean is zero.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean().abs() < f64::EPSILON {
+            None
+        } else {
+            Some(self.std_dev() / self.mean())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.cv(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!(close(s.mean(), 5.0));
+        assert!(close(s.variance(), 4.0)); // classic example: σ = 2
+        assert!(close(s.std_dev(), 2.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!(close(s.sum(), 40.0));
+        assert!(close(s.cv().unwrap(), 0.4));
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let whole = Summary::of(&data);
+        let mut merged = Summary::of(&data[..37]);
+        merged.merge(&Summary::of(&data[37..]));
+        assert!(close(whole.mean(), merged.mean()));
+        assert!((whole.variance() - merged.variance()).abs() < 1e-9);
+        assert_eq!(whole.count(), merged.count());
+        assert_eq!(whole.min(), merged.min());
+        assert_eq!(whole.max(), merged.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::of(&[1.0, 2.0]);
+        let snapshot = s;
+        s.merge(&Summary::new());
+        assert!(close(s.mean(), snapshot.mean()));
+        let mut e = Summary::new();
+        e.merge(&snapshot);
+        assert!(close(e.mean(), snapshot.mean()));
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Welford must not lose precision with a large common offset.
+        let s = Summary::of(&[1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0]);
+        assert!(close(s.mean(), 1e9 + 10.0));
+        assert!(close(s.sample_variance(), 30.0));
+    }
+}

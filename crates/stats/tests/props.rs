@@ -1,0 +1,119 @@
+//! Property tests for the statistics substrate.
+
+use eleph_stats::{Ecdf, Ewma, Histogram, LinearFit, LogHistogram, Summary};
+use proptest::prelude::*;
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..300)
+}
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in finite_samples(), probes in prop::collection::vec(-1e6..1e6f64, 2..40)) {
+        let e = Ecdf::new(samples).expect("non-empty");
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = 0.0;
+        for x in sorted {
+            let c = e.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= last - 1e-12);
+            prop_assert!((c + e.ccdf(x) - 1.0).abs() < 1e-12);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(samples in finite_samples(), q in 0.001..1.0f64) {
+        let e = Ecdf::new(samples).expect("non-empty");
+        let v = e.quantile(q).expect("q in range");
+        // CDF at the q-quantile covers at least q of the mass...
+        prop_assert!(e.cdf(v) >= q - 1e-12);
+        // ...and the quantile is an actual sample value.
+        prop_assert!(e.values().contains(&v));
+    }
+
+    #[test]
+    fn upper_quantile_bounds_tail(samples in finite_samples(), p in 0.001..0.999f64) {
+        let e = Ecdf::new(samples).expect("non-empty");
+        let t = e.upper_quantile(p).expect("p in range");
+        prop_assert!(e.ccdf(t) <= p + 1e-12);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(samples in finite_samples(), split in any::<prop::sample::Index>()) {
+        let at = split.index(samples.len() + 1);
+        let whole = Summary::of(&samples);
+        let mut merged = Summary::of(&samples[..at]);
+        merged.merge(&Summary::of(&samples[at..]));
+        prop_assert_eq!(whole.count(), merged.count());
+        prop_assert!((whole.mean() - merged.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((whole.variance() - merged.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+        prop_assert_eq!(whole.min(), merged.min());
+        prop_assert_eq!(whole.max(), merged.max());
+    }
+
+    #[test]
+    fn summary_mean_within_extrema(samples in finite_samples()) {
+        let s = Summary::of(&samples);
+        let (min, max) = (s.min().expect("non-empty"), s.max().expect("non-empty"));
+        prop_assert!(s.mean() >= min - 1e-9);
+        prop_assert!(s.mean() <= max + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn ewma_stays_within_input_range(gamma in 0.0..0.999f64, inputs in prop::collection::vec(-1e3..1e3f64, 1..100)) {
+        let mut e = Ewma::new(gamma).expect("valid gamma");
+        let lo = inputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = inputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &inputs {
+            let v = e.update(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "EWMA {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(lo in -100.0..0.0f64, width in 1.0..100.0f64, bins in 1usize..30, samples in prop::collection::vec(-1e3..1e3f64, 0..200)) {
+        let mut h = Histogram::new(lo, lo + width, bins).expect("valid");
+        for &x in &samples {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total() as usize, samples.len());
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+    }
+
+    #[test]
+    fn log_histogram_conserves_observations(samples in prop::collection::vec(-10.0..1e5f64, 0..200)) {
+        let mut h = LogHistogram::new(1.0, 10.0, 4).expect("valid");
+        for &x in &samples {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total() as usize, samples.len());
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(slope in -100.0..100.0f64, intercept in -100.0..100.0f64, n in 3usize..50) {
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| {
+            let x = i as f64;
+            (x, intercept + slope * x)
+        }).collect();
+        let fit = LinearFit::fit(&pts).expect("distinct x");
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn log_log_ccdf_points_are_decreasing(samples in prop::collection::vec(0.001..1e6f64, 2..300)) {
+        let e = Ecdf::new(samples).expect("non-empty");
+        let pts = e.log_log_ccdf();
+        // x strictly increasing, y strictly decreasing (CCDF of distinct
+        // values).
+        for w in pts.windows(2) {
+            prop_assert!(w[1].0 > w[0].0);
+            prop_assert!(w[1].1 < w[0].1 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the 60-second tour of the library.
+//!
+//! Builds a small synthetic link (routing table + traffic), runs the
+//! paper's two-feature "latent heat" classification, and prints what the
+//! elephant class looks like.
+//!
+//! ```sh
+//! cargo run -p eleph-examples --bin quickstart
+//! ```
+
+use eleph_bgp::synth::{self, SynthConfig};
+use eleph_core::{classify, ConstantLoadDetector, Scheme, PAPER_GAMMA, PAPER_LATENT_WINDOW};
+use eleph_flow::BandwidthMatrix;
+use eleph_trace::{RateTrace, WorkloadConfig};
+
+fn main() {
+    // 1. A routing table: the flow key space. (Real deployments would
+    //    load a RIB dump via eleph_bgp::dump::read_dump.)
+    let table = synth::generate(&SynthConfig {
+        n_prefixes: 5_000,
+        ..SynthConfig::default()
+    });
+    println!("routing table: {} prefixes", table.len());
+
+    // 2. A traffic trace. small_test() is a 10 Mb/s link with 400 flows
+    //    over two hours of 1-minute intervals.
+    let workload = WorkloadConfig::small_test(7);
+    let trace = RateTrace::generate(&workload, &table);
+    let matrix = BandwidthMatrix::from_rate_trace(&trace);
+    println!(
+        "trace: {} intervals x {} flows, mean utilization {:.1}%",
+        matrix.n_intervals(),
+        matrix.n_keys(),
+        100.0 * trace.utilization().iter().sum::<f64>() / trace.n_intervals() as f64,
+    );
+
+    // 3. Classify with the paper's headline scheme: a 0.8-constant-load
+    //    threshold, EWMA-smoothed with gamma = 0.9, and the latent-heat
+    //    two-feature rule.
+    let result = classify(
+        &matrix,
+        ConstantLoadDetector::new(0.8),
+        PAPER_GAMMA,
+        Scheme::LatentHeat {
+            window: PAPER_LATENT_WINDOW,
+        },
+    );
+
+    // 4. What did we get?
+    let last = matrix.n_intervals() - 1;
+    println!(
+        "\ninterval {last}: {} elephants of {} active flows carry {:.0}% of traffic",
+        result.count(last),
+        matrix.active(last),
+        100.0 * result.fraction(last),
+    );
+    println!("threshold T̄ = {:.1} kb/s", result.thresholds[last] / 1e3);
+
+    println!("\ntop elephants in the final interval:");
+    let mut elephants: Vec<_> = result.elephants[last]
+        .iter()
+        .map(|&key| (matrix.rate(last, key), matrix.key(key)))
+        .collect();
+    elephants.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("rates are finite"));
+    for (rate, prefix) in elephants.iter().take(10) {
+        println!("  {prefix:<20} {:>10.1} kb/s", rate / 1e3);
+    }
+
+    println!(
+        "\nacross the whole trace: mean {:.0} elephants/interval, mean load share {:.2}",
+        result.mean_count(),
+        result.mean_fraction(),
+    );
+}

@@ -1,0 +1,85 @@
+//! The paper's motivating application: elephant-aware load balancing.
+//!
+//! Two paths leave a PoP. A traffic engineering controller pins the
+//! *elephant* flows to the secondary path and leaves the mice on the
+//! primary. Every time the elephant set changes, flows must be re-routed
+//! (route-map updates, possible packet reordering) — so a classification
+//! scheme is only useful if its elephant set is stable.
+//!
+//! This example compares the single-feature and latent-heat schemes on
+//! exactly that criterion: re-routing churn vs load-balance quality.
+//!
+//! ```sh
+//! cargo run -p eleph-examples --bin traffic_engineering
+//! ```
+
+use eleph_bgp::synth::{self, SynthConfig};
+use eleph_core::holding::churn;
+use eleph_core::{classify, ConstantLoadDetector, Scheme, PAPER_GAMMA, PAPER_LATENT_WINDOW};
+use eleph_flow::BandwidthMatrix;
+use eleph_trace::{RateTrace, WorkloadConfig};
+
+fn main() {
+    let table = synth::generate(&SynthConfig {
+        n_prefixes: 8_000,
+        ..SynthConfig::default()
+    });
+    let workload = WorkloadConfig {
+        n_flows: 2_000,
+        n_intervals: 144, // 12 h of 5-min slots
+        interval_secs: 300,
+        ..WorkloadConfig::small_test(11)
+    };
+    let trace = RateTrace::generate(&workload, &table);
+    let matrix = BandwidthMatrix::from_rate_trace(&trace);
+
+    println!("two-path TE simulation: elephants pinned to the secondary path\n");
+    println!(
+        "{:<22} {:>14} {:>16} {:>18} {:>14}",
+        "scheme", "mean elephants", "secondary share", "reroutes/interval", "peak reroutes"
+    );
+
+    for (name, scheme) in [
+        ("single-feature", Scheme::SingleFeature),
+        (
+            "latent-heat (w=12)",
+            Scheme::LatentHeat {
+                window: PAPER_LATENT_WINDOW,
+            },
+        ),
+    ] {
+        let result = classify(
+            &matrix,
+            ConstantLoadDetector::new(0.8),
+            PAPER_GAMMA,
+            scheme,
+        );
+
+        // Load balance quality: fraction of bytes on the secondary path.
+        let secondary_share = result.mean_fraction();
+
+        // Churn: every flow entering or leaving the elephant class forces
+        // a route update.
+        let churn_series = churn(&result);
+        // Skip the first latent-heat window: the classifier is warming up.
+        let steady = &churn_series[PAPER_LATENT_WINDOW..];
+        let mean_churn = steady.iter().sum::<usize>() as f64 / steady.len() as f64;
+        let peak_churn = steady.iter().copied().max().unwrap_or(0);
+
+        println!(
+            "{:<22} {:>14.1} {:>15.1}% {:>18.2} {:>14}",
+            name,
+            result.mean_count(),
+            100.0 * secondary_share,
+            mean_churn,
+            peak_churn,
+        );
+    }
+
+    println!(
+        "\nReading: both schemes steer a comparable share of traffic to the \
+         secondary path,\nbut the single-feature scheme pays for it with far \
+         more route updates per interval —\nexactly the paper's argument for \
+         the latent-heat definition."
+    );
+}
