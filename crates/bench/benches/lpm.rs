@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use eleph_bench::bench_table;
-use eleph_net::{CompressedTrieLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, TrieLpm};
+use eleph_net::{CompressedTrieLpm, FlatLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, TrieLpm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +35,31 @@ fn bench_lookup(c: &mut Criterion) {
             let mut hits = 0usize;
             for &q in &queries {
                 if table.lookup(black_box(q)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // The frozen flat-array read path the packet pipeline uses.
+    let flat = FlatLpm::from(&table);
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &q in &queries {
+                if flat.lookup(black_box(q)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("flat_id_only", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &q in &queries {
+                if flat.lookup_id(black_box(q)).is_some() {
                     hits += 1;
                 }
             }
@@ -109,6 +134,10 @@ fn bench_insert(c: &mut Criterion) {
                 }
                 t
             })
+        });
+        // Freeze cost: what a RIB update costs the read path.
+        group.bench_with_input(BenchmarkId::new("flat_freeze", n), &entries, |b, e| {
+            b.iter(|| FlatLpm::from_entries(e.iter().copied()))
         });
     }
     group.finish();

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use eleph_bench::bench_table;
-use eleph_flow::aggregate_pcap;
+use eleph_flow::{aggregate_pcap, aggregate_pcap_parallel, aggregate_pcap_parallel_frozen};
 use eleph_packet::pcap::PcapReader;
 use eleph_packet::{parse_record_meta, LinkType, PacketBuilder};
 use eleph_trace::{PacketSynth, RateTrace, WorkloadConfig};
@@ -96,5 +96,81 @@ fn bench_pcap_io(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_packet_build_parse, bench_pcap_io);
+/// End-to-end serial vs sharded aggregation on a larger capture: the
+/// bytes/sec each path sustains is the headline packets-per-second
+/// number of the whole pipeline.
+fn bench_aggregate_parallel(c: &mut Criterion) {
+    let table = bench_table(20_000);
+    let config = WorkloadConfig {
+        n_flows: 400,
+        n_intervals: 3,
+        interval_secs: 20,
+        link: eleph_trace::LinkSpec {
+            name: "bench parallel".to_string(),
+            capacity_bps: 60_000_000.0,
+            target_peak_util: 0.5,
+        },
+        ..WorkloadConfig::small_test(17)
+    };
+    let trace = RateTrace::generate(&config, &table);
+    let synth = PacketSynth::new(&trace);
+    let mut pcap = Vec::new();
+    synth.write_pcap(0..trace.n_intervals(), &mut pcap).expect("synthesis");
+    let n_packets = {
+        let reader = PcapReader::new(&pcap[..]).expect("header");
+        reader.count()
+    };
+
+    let mut group = c.benchmark_group("aggregate_pcap");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(pcap.len() as u64));
+    group.bench_function(format!("serial_{n_packets}pkts"), |b| {
+        b.iter(|| {
+            aggregate_pcap(
+                black_box(&pcap[..]),
+                &table,
+                trace.config.interval_secs,
+                trace.config.start_unix,
+                trace.config.n_intervals,
+            )
+            .expect("aggregation")
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("parallel{threads}_{n_packets}pkts"), |b| {
+            b.iter(|| {
+                aggregate_pcap_parallel(
+                    black_box(&pcap[..]),
+                    &table,
+                    trace.config.interval_secs,
+                    trace.config.start_unix,
+                    trace.config.n_intervals,
+                    threads,
+                )
+                .expect("aggregation")
+            })
+        });
+    }
+    // Steady state: one frozen RIB serving many captures — the freeze
+    // cost is amortized away and the record scan becomes the floor.
+    let frozen = table.freeze();
+    for threads in [4usize, 8] {
+        group.bench_function(format!("parallel{threads}_frozen_{n_packets}pkts"), |b| {
+            b.iter(|| {
+                aggregate_pcap_parallel_frozen(
+                    black_box(&pcap[..]),
+                    &frozen,
+                    trace.config.interval_secs,
+                    trace.config.start_unix,
+                    trace.config.n_intervals,
+                    threads,
+                )
+                .expect("aggregation")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_build_parse, bench_pcap_io, bench_aggregate_parallel);
 criterion_main!(benches);

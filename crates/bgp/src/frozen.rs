@@ -1,0 +1,162 @@
+//! The frozen (read-optimized) routing table: the pipeline's FIB.
+
+use std::net::Ipv4Addr;
+
+use eleph_net::{FlatLpm, Prefix};
+
+use crate::{BgpTable, RouteEntry};
+
+/// Dense id of a route within one [`FrozenBgpTable`].
+///
+/// Ids run `0..len()` in RIB-dump (ascending prefix) order and are
+/// stable for the lifetime of the frozen table, so downstream
+/// accounting can use plain arrays instead of `Prefix`-keyed hash maps.
+pub type RouteId = u32;
+
+/// A [`BgpTable`] snapshot frozen into a flat-array lookup structure.
+///
+/// This is the router RIB/FIB split applied to the measurement
+/// pipeline: [`BgpTable`] stays the updatable source of truth (route
+/// churn, insertion, removal), while `FrozenBgpTable` is the immutable
+/// data-plane copy every packet is attributed against. Attribution is
+/// O(1) with ≤ 2 dependent memory reads ([`eleph_net::FlatLpm`]) and
+/// returns a dense [`RouteId`] — no `Prefix → id` hash lookup on the
+/// hot path.
+///
+/// Build one with [`BgpTable::freeze`]; rebuild after mutating the
+/// source table.
+#[derive(Debug, Clone)]
+pub struct FrozenBgpTable {
+    flat: FlatLpm<RouteEntry>,
+}
+
+impl FrozenBgpTable {
+    pub(crate) fn new(table: &BgpTable) -> Self {
+        FrozenBgpTable {
+            flat: FlatLpm::from_entries(table.iter().map(|e| (e.prefix, e.clone()))),
+        }
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Whether the table has no routes.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Longest-prefix attribution of a destination address.
+    #[inline]
+    pub fn attribute(&self, dst: Ipv4Addr) -> Option<(RouteId, &RouteEntry)> {
+        self.attribute_u32(u32::from(dst))
+    }
+
+    /// Longest-prefix attribution from host-order bits.
+    #[inline]
+    pub fn attribute_u32(&self, dst: u32) -> Option<(RouteId, &RouteEntry)> {
+        self.flat.lookup_with_id(dst).map(|(id, _, e)| (id, e))
+    }
+
+    /// Longest-prefix attribution returning only the dense route id —
+    /// the cheapest form, used by the per-packet hot path (no entry
+    /// dereference).
+    #[inline]
+    pub fn attribute_id(&self, dst: u32) -> Option<RouteId> {
+        self.flat.lookup_id(dst)
+    }
+
+    /// The prefix of route `id`.
+    #[inline]
+    pub fn prefix(&self, id: RouteId) -> Prefix {
+        self.flat.prefix(id)
+    }
+
+    /// The full entry of route `id`.
+    #[inline]
+    pub fn route(&self, id: RouteId) -> &RouteEntry {
+        self.flat.value(id)
+    }
+
+    /// The dense id of exactly `prefix`, if routed.
+    pub fn id_of(&self, prefix: Prefix) -> Option<RouteId> {
+        self.flat.id_of(prefix)
+    }
+
+    /// Iterate routes in RIB-dump order (= [`RouteId`] order).
+    pub fn iter(&self) -> impl Iterator<Item = &RouteEntry> {
+        self.flat.iter().map(|(_, e)| e)
+    }
+
+    /// Bytes of lookup-table memory (cache-footprint diagnostic).
+    pub fn table_bytes(&self) -> usize {
+        self.flat.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Origin, PeerClass};
+
+    fn entry(prefix: &str) -> RouteEntry {
+        RouteEntry {
+            prefix: prefix.parse().unwrap(),
+            next_hop: Ipv4Addr::new(192, 0, 2, 1),
+            as_path: vec![1239, 701],
+            origin: Origin::Igp,
+            peer_class: PeerClass::Tier1,
+        }
+    }
+
+    #[test]
+    fn agrees_with_live_table() {
+        let table = BgpTable::from_entries(vec![
+            entry("10.0.0.0/8"),
+            entry("10.1.0.0/16"),
+            entry("10.1.2.0/25"),
+            entry("203.0.113.7/32"),
+        ]);
+        let frozen = table.freeze();
+        assert_eq!(frozen.len(), table.len());
+        for addr in [
+            Ipv4Addr::new(10, 1, 2, 3),
+            Ipv4Addr::new(10, 1, 9, 9),
+            Ipv4Addr::new(10, 200, 0, 1),
+            Ipv4Addr::new(203, 0, 113, 7),
+            Ipv4Addr::new(203, 0, 113, 8),
+            Ipv4Addr::new(11, 0, 0, 1),
+        ] {
+            let live = table.attribute(addr).map(|(p, _)| p);
+            let froze = frozen.attribute(addr).map(|(id, _)| frozen.prefix(id));
+            assert_eq!(live, froze, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn route_ids_are_dump_order() {
+        let table = BgpTable::from_entries(vec![
+            entry("10.1.0.0/16"),
+            entry("9.0.0.0/8"),
+            entry("10.0.0.0/8"),
+        ]);
+        let frozen = table.freeze();
+        let order: Vec<String> = frozen.iter().map(|e| e.prefix.to_string()).collect();
+        assert_eq!(order, vec!["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16"]);
+        assert_eq!(frozen.id_of("9.0.0.0/8".parse().unwrap()), Some(0));
+        assert_eq!(frozen.id_of("10.1.0.0/16".parse().unwrap()), Some(2));
+        assert_eq!(frozen.route(1).prefix, "10.0.0.0/8".parse().unwrap());
+        let (id, e) = frozen.attribute(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(e.prefix, "10.1.0.0/16".parse().unwrap());
+        assert_eq!(frozen.attribute_id(u32::from(Ipv4Addr::new(10, 1, 2, 3))), Some(2));
+    }
+
+    #[test]
+    fn empty_freeze() {
+        let frozen = BgpTable::new().freeze();
+        assert!(frozen.is_empty());
+        assert_eq!(frozen.attribute(Ipv4Addr::new(10, 0, 0, 1)), None);
+    }
+}

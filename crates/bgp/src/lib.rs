@@ -11,6 +11,10 @@
 //! * [`BgpTable`] — an LPM-indexed RIB over [`eleph_net::CompressedTrieLpm`]
 //!   with prefix attribution ([`BgpTable::attribute`]) and unshadowed
 //!   address sampling for trace synthesis;
+//! * [`FrozenBgpTable`] — the read-optimized FIB compiled from a table
+//!   snapshot by [`BgpTable::freeze`]: O(1) flat-array attribution
+//!   returning dense [`RouteId`]s, which is what the packet hot path in
+//!   `eleph_flow` runs against;
 //! * [`dump`] — a line-oriented text RIB format (write + parse);
 //! * [`synth`] — a synthetic table generator whose prefix-length histogram
 //!   matches a 2001-era backbone table (~100k entries, mass at /16–/24),
@@ -20,10 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod dump;
+mod frozen;
 mod route;
 pub mod synth;
 mod table;
 
+pub use frozen::{FrozenBgpTable, RouteId};
 pub use route::{Origin, PeerClass, RouteEntry};
 pub use synth::{SynthConfig, DEFAULT_LENGTH_WEIGHTS};
 pub use table::BgpTable;

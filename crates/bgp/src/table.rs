@@ -59,6 +59,15 @@ impl BgpTable {
         self.lpm.is_empty()
     }
 
+    /// Freeze the current snapshot into a read-optimized
+    /// [`crate::FrozenBgpTable`] (flat-array lookup, dense route ids).
+    ///
+    /// This is the RIB→FIB compile step: call it once per table
+    /// version, then attribute packets against the frozen copy.
+    pub fn freeze(&self) -> crate::FrozenBgpTable {
+        crate::FrozenBgpTable::new(self)
+    }
+
     /// Longest-prefix attribution of a destination address: the flow key.
     pub fn attribute(&self, dst: Ipv4Addr) -> Option<(Prefix, &RouteEntry)> {
         self.lpm.lookup_addr(dst)

@@ -1,0 +1,129 @@
+//! Minimal stand-in for the `bytes` crate.
+//!
+//! The build environment has no registry access, so the one type this
+//! workspace uses — [`Bytes`], a cheaply cloneable immutable byte buffer —
+//! is implemented here over `Arc<[u8]>`. Only the API surface the
+//! workspace consumes is provided.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.data, f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data[..] == &other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_slicing() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn empty() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        assert_eq!(&b[..], &[] as &[u8]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the subset of the
+//! criterion API this workspace's benches use is implemented here:
+//! [`Criterion`], benchmark groups with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`]
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark the closure is warmed up for
+//! ~`WARMUP_MS`, an iteration count per sample is calibrated so a sample
+//! takes ~`TARGET_SAMPLE_MS`, then `sample_size` samples are collected
+//! and the **median ns/iter** reported. Results print to stdout in a
+//! criterion-like format; when the `CRITERION_JSON` environment variable
+//! names a file, one JSON object per benchmark is appended to it
+//! (`{"group":…,"bench":…,"median_ns":…,…}`) — `scripts/bench.sh` uses
+//! this to build the `BENCH_<date>.json` trajectory files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_MS: u64 = 120;
+const TARGET_SAMPLE_MS: u64 = 40;
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `build/20000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate the per-sample iteration count.
+        let warmup = Duration::from_millis(WARMUP_MS);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let target = u128::from(TARGET_SAMPLE_MS) * 1_000_000;
+        self.iters_per_sample = ((target / per_iter.max(1)).clamp(1, 1_000_000_000)) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Median nanoseconds per iteration over the collected samples.
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return f64::NAN;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let mid = ns.len() / 2;
+        if ns.len() % 2 == 1 {
+            ns[mid]
+        } else {
+            (ns[mid - 1] + ns[mid]) / 2.0
+        }
+    }
+}
+
+/// The top-level benchmark registry.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (implicit group named after it).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let id = id.into_id();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of samples per benchmark (criterion's knob; honoured here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measurement-time knob: accepted for API compatibility, unused.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmark `f` with an input reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            ..Bencher::default()
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn report(&self, bench: &str, b: &Bencher) {
+        let median = b.median_ns_per_iter();
+        let mut line = format!(
+            "{:<44} median: {:>12} ns/iter ({} samples x {} iters)",
+            format!("{}/{}", self.name, bench),
+            format_ns(median),
+            b.samples.len(),
+            b.iters_per_sample,
+        );
+        let mut throughput_fields = String::new();
+        if let Some(t) = self.throughput {
+            let (amount, unit, json_key) = match t {
+                Throughput::Bytes(n) => (n as f64, "MiB/s", "throughput_bytes"),
+                Throughput::Elements(n) => (n as f64, "Melem/s", "throughput_elements"),
+            };
+            if median.is_finite() && median > 0.0 {
+                let per_sec = amount / (median / 1e9);
+                let scaled = match t {
+                    Throughput::Bytes(_) => per_sec / (1024.0 * 1024.0),
+                    Throughput::Elements(_) => per_sec / 1e6,
+                };
+                line.push_str(&format!("  [{scaled:.1} {unit}]"));
+                throughput_fields =
+                    format!(",\"{json_key}\":{amount},\"per_second\":{per_sec:.1}");
+            }
+        }
+        println!("{line}");
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let record = format!(
+                    "{{\"group\":{},\"bench\":{},\"median_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}\n",
+                    json_string(&self.name),
+                    json_string(bench),
+                    median,
+                    b.samples.len(),
+                    b.iters_per_sample,
+                    throughput_fields,
+                );
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = file.write_all(record.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return "n/a".to_string();
+    }
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; a name filter may
+            // follow. Filtering is not implemented — all benches run.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+            assert!(b.median_ns_per_iter() > 0.0);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids() {
+        assert_eq!(BenchmarkId::new("build", 20_000).into_id(), "build/20000");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,8 +1,7 @@
 //! The classification schemes over a bandwidth matrix.
 
-use std::collections::HashMap;
-
 use eleph_flow::{BandwidthMatrix, KeyId};
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::{ThresholdDetector, ThresholdTracker};
 
@@ -137,8 +136,8 @@ pub fn classify<D: ThresholdDetector>(
             1
         }
     };
-    let mut hysteresis_members: std::collections::HashSet<KeyId> = Default::default();
-    let mut sum_b: HashMap<KeyId, f64> = HashMap::new();
+    let mut hysteresis_members: FxHashSet<KeyId> = FxHashSet::default();
+    let mut sum_b: FxHashMap<KeyId, f64> = FxHashMap::default();
     let mut sum_t = 0.0f64;
     let mut t_hist: Vec<f64> = Vec::with_capacity(n_int);
 

@@ -8,10 +8,10 @@
 //! heat, with the single-interval-elephant count dropping from > 1000 to
 //! ≈ 50 (Figure 1(c)).
 
-use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 
 use eleph_flow::KeyId;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::ClassificationResult;
 
@@ -83,12 +83,12 @@ pub fn analyze(
         "window {window:?} beyond {} intervals",
         result.n_intervals()
     );
-    let mut slots: HashMap<KeyId, usize> = HashMap::new();
-    let mut runs: HashMap<KeyId, usize> = HashMap::new();
-    let mut prev: HashSet<KeyId> = HashSet::new();
+    let mut slots: FxHashMap<KeyId, usize> = FxHashMap::default();
+    let mut runs: FxHashMap<KeyId, usize> = FxHashMap::default();
+    let mut prev: FxHashSet<KeyId> = FxHashSet::default();
 
     for n in window.clone() {
-        let current: HashSet<KeyId> = result.elephants[n].iter().copied().collect();
+        let current: FxHashSet<KeyId> = result.elephants[n].iter().copied().collect();
         for &key in &current {
             *slots.entry(key).or_default() += 1;
             if !prev.contains(&key) {
@@ -135,9 +135,9 @@ pub fn analyze(
 /// is precisely to keep this small for TE applications.
 pub fn churn(result: &ClassificationResult) -> Vec<usize> {
     let mut out = Vec::with_capacity(result.n_intervals());
-    let mut prev: HashSet<KeyId> = HashSet::new();
+    let mut prev: FxHashSet<KeyId> = FxHashSet::default();
     for n in 0..result.n_intervals() {
-        let current: HashSet<KeyId> = result.elephants[n].iter().copied().collect();
+        let current: FxHashSet<KeyId> = result.elephants[n].iter().copied().collect();
         out.push(current.symmetric_difference(&prev).count());
         prev = current;
     }

@@ -9,10 +9,10 @@
 //! so experiments validated offline transfer directly to the online
 //! deployment.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use eleph_flow::KeyId;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::{Scheme, ThresholdDetector, ThresholdTracker};
 
@@ -52,13 +52,13 @@ pub struct OnlineClassifier<D> {
     scheme: Scheme,
     window: usize,
     /// Sliding per-key bandwidth sums over the window.
-    sum_b: HashMap<KeyId, f64>,
+    sum_b: FxHashMap<KeyId, f64>,
     /// Sliding threshold sum over the window.
     sum_t: f64,
     /// The window's per-interval history: (threshold term, snapshot).
     history: VecDeque<(f64, Vec<(KeyId, f32)>)>,
     /// Current membership for the hysteresis scheme.
-    members: std::collections::HashSet<KeyId>,
+    members: FxHashSet<KeyId>,
     interval: usize,
 }
 
@@ -84,7 +84,7 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
             tracker: ThresholdTracker::new(detector, gamma),
             scheme,
             window,
-            sum_b: HashMap::new(),
+            sum_b: FxHashMap::default(),
             sum_t: 0.0,
             history: VecDeque::with_capacity(window + 1),
             members: Default::default(),

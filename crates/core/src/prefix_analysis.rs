@@ -224,7 +224,9 @@ mod tests {
     #[test]
     fn elephant_rate_at_length() {
         let prefixes = ["10.0.0.0/16", "11.0.0.0/16", "12.0.0.0/16", "13.0.0.0/24"];
-        let rows = vec![vec![1.0, 1.0, 1.0, 1.0]];
+        // 8 b/s over 1 s = 1 byte: the smallest rate the packet-built
+        // matrix can represent without rounding to zero bytes.
+        let rows = vec![vec![8.0, 8.0, 8.0, 8.0]];
         let (m, table) = build_matrix(&prefixes, &rows);
         let r = scripted(&m, vec![vec!["10.0.0.0/16"]]);
         let report = prefix_report(&m, &r, Some(&table), 0..1);
@@ -236,7 +238,7 @@ mod tests {
     #[test]
     fn no_elephants_no_range() {
         let prefixes = ["10.0.0.0/16"];
-        let rows = vec![vec![1.0]];
+        let rows = vec![vec![8.0]];
         let (m, table) = build_matrix(&prefixes, &rows);
         let r = scripted(&m, vec![vec![]]);
         let report = prefix_report(&m, &r, Some(&table), 0..1);

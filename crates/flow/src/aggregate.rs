@@ -1,14 +1,37 @@
 //! Streaming packet-to-interval aggregation.
+//!
+//! The hot path of the whole reproduction: on a backbone link this code
+//! runs once per captured packet, millions of times per second. It is
+//! therefore built around constant-time, allocation-free primitives:
+//!
+//! * attribution goes through a [`FrozenBgpTable`] (flat-array LPM,
+//!   O(1), ≤ 2 dependent memory reads) and yields a dense
+//!   [`eleph_bgp::RouteId`] — no trie pointer chase, no `Prefix → id`
+//!   hash lookup;
+//! * per-interval byte counts accumulate into plain `Vec<u64>` rows
+//!   indexed by [`KeyId`] (dense, first-seen order), so the per-packet
+//!   work is two array index operations and one add;
+//! * interval assignment uses nanosecond bounds precomputed at
+//!   construction — no per-packet multiplies;
+//! * pcap streaming reuses one capture buffer
+//!   ([`PcapReader::next_record_into`]) instead of allocating per
+//!   record.
+//!
+//! [`aggregate_pcap_parallel`] shards a capture across threads and
+//! merges shard results into output **byte-identical** to the serial
+//! [`aggregate_pcap`] (pinned by `tests/tests/pipeline_equivalence.rs`).
 
-use std::collections::HashMap;
 use std::io::Read;
 
-use eleph_bgp::BgpTable;
+use eleph_bgp::{BgpTable, FrozenBgpTable, RouteId};
 use eleph_net::Prefix;
-use eleph_packet::pcap::PcapReader;
-use eleph_packet::{parse_record_meta, LinkType, PacketMeta};
+use eleph_packet::pcap::{PcapReader, PcapSlice, RecordHeader};
+use eleph_packet::{parse_buf_meta, LinkType, PacketMeta};
 
 use crate::{BandwidthMatrix, KeyId};
+
+/// Sentinel for "route not yet assigned a key".
+const NO_KEY: KeyId = KeyId::MAX;
 
 /// Accounting for every packet offered to an [`Aggregator`].
 ///
@@ -37,67 +60,160 @@ impl AggregatorStats {
     pub fn is_conserved(&self) -> bool {
         self.attributed + self.unroutable + self.out_of_window + self.malformed == self.offered
     }
+
+    /// Component-wise sum (shard merge).
+    fn merge(&mut self, other: &AggregatorStats) {
+        self.offered += other.offered;
+        self.attributed += other.attributed;
+        self.attributed_bytes += other.attributed_bytes;
+        self.unroutable += other.unroutable;
+        self.out_of_window += other.out_of_window;
+        self.malformed += other.malformed;
+    }
+}
+
+/// The frozen table an aggregator attributes against: owned when built
+/// from a live [`BgpTable`], borrowed when shards share one freeze.
+#[derive(Debug)]
+enum TableRef<'t> {
+    Owned(Box<FrozenBgpTable>),
+    Borrowed(&'t FrozenBgpTable),
+}
+
+impl TableRef<'_> {
+    #[inline]
+    fn get(&self) -> &FrozenBgpTable {
+        match self {
+            TableRef::Owned(t) => t,
+            TableRef::Borrowed(t) => t,
+        }
+    }
 }
 
 /// Streaming aggregator: packets in, [`BandwidthMatrix`] out.
 #[derive(Debug)]
 pub struct Aggregator<'t> {
-    table: &'t BgpTable,
+    table: TableRef<'t>,
     interval_secs: u64,
     start_unix: u64,
     n_intervals: usize,
-    /// Per interval: bytes per key.
-    bytes: Vec<HashMap<KeyId, u64>>,
-    keys: Vec<Prefix>,
-    index: HashMap<Prefix, KeyId>,
+    /// `start_unix` in nanoseconds, hoisted out of [`Aggregator::observe`].
+    start_ns: u64,
+    /// Interval length in nanoseconds, hoisted out of [`Aggregator::observe`].
+    interval_ns: u64,
+    /// Per interval: bytes per key, dense, indexed by [`KeyId`]. Rows
+    /// grow lazily as keys appear, so an interval that saw few prefixes
+    /// stays short.
+    rows: Vec<Vec<u64>>,
+    /// Route of each key, in first-seen order (`keys` of the matrix).
+    key_routes: Vec<RouteId>,
+    /// Stream position at which each key was first seen; lets the
+    /// parallel merge reconstruct global first-seen order from
+    /// arbitrarily partitioned shards.
+    key_first: Vec<u64>,
+    /// Dense `RouteId → KeyId` map ([`NO_KEY`] = unassigned).
+    route_to_key: Vec<KeyId>,
     stats: AggregatorStats,
 }
 
 impl<'t> Aggregator<'t> {
     /// Create an aggregator for `n_intervals` intervals of
     /// `interval_secs` starting at `start_unix`.
+    ///
+    /// Freezes a read-optimized copy of `table`; to amortize one freeze
+    /// across several aggregators use [`Aggregator::with_frozen`].
     pub fn new(
-        table: &'t BgpTable,
+        table: &BgpTable,
+        interval_secs: u64,
+        start_unix: u64,
+        n_intervals: usize,
+    ) -> Self {
+        Self::build(
+            TableRef::Owned(Box::new(table.freeze())),
+            interval_secs,
+            start_unix,
+            n_intervals,
+        )
+    }
+
+    /// Create an aggregator borrowing an existing frozen table.
+    pub fn with_frozen(
+        table: &'t FrozenBgpTable,
+        interval_secs: u64,
+        start_unix: u64,
+        n_intervals: usize,
+    ) -> Self {
+        Self::build(
+            TableRef::Borrowed(table),
+            interval_secs,
+            start_unix,
+            n_intervals,
+        )
+    }
+
+    fn build(
+        table: TableRef<'t>,
         interval_secs: u64,
         start_unix: u64,
         n_intervals: usize,
     ) -> Self {
         assert!(interval_secs > 0, "interval must be positive");
+        let n_routes = table.get().len();
         Aggregator {
             table,
             interval_secs,
             start_unix,
             n_intervals,
-            bytes: vec![HashMap::new(); n_intervals],
-            keys: Vec::new(),
-            index: HashMap::new(),
+            start_ns: start_unix * 1_000_000_000,
+            interval_ns: interval_secs * 1_000_000_000,
+            rows: vec![Vec::new(); n_intervals],
+            key_routes: Vec::new(),
+            key_first: Vec::new(),
+            route_to_key: vec![NO_KEY; n_routes],
             stats: AggregatorStats::default(),
         }
     }
 
     /// Observe one parsed packet.
+    #[inline]
     pub fn observe(&mut self, meta: &PacketMeta) {
+        // For a serial aggregator the offered count *is* the stream
+        // position.
+        let position = self.stats.offered;
+        self.observe_at(meta, position);
+    }
+
+    /// [`Aggregator::observe`] with an explicit stream position, used
+    /// by shard workers whose packets are a non-contiguous subset of
+    /// the stream.
+    #[inline]
+    fn observe_at(&mut self, meta: &PacketMeta, position: u64) {
         self.stats.offered += 1;
-        let start_ns = self.start_unix * 1_000_000_000;
-        if meta.ts_ns < start_ns {
+        if meta.ts_ns < self.start_ns {
             self.stats.out_of_window += 1;
             return;
         }
-        let interval = ((meta.ts_ns - start_ns) / (self.interval_secs * 1_000_000_000)) as usize;
+        let interval = ((meta.ts_ns - self.start_ns) / self.interval_ns) as usize;
         if interval >= self.n_intervals {
             self.stats.out_of_window += 1;
             return;
         }
-        let Some((prefix, _)) = self.table.attribute(meta.dst) else {
+        let Some(route) = self.table.get().attribute_id(u32::from(meta.dst)) else {
             self.stats.unroutable += 1;
             return;
         };
-        let next_id = self.keys.len() as KeyId;
-        let id = *self.index.entry(prefix).or_insert_with(|| {
-            self.keys.push(prefix);
-            next_id
-        });
-        *self.bytes[interval].entry(id).or_default() += u64::from(meta.wire_len);
+        let mut key = self.route_to_key[route as usize];
+        if key == NO_KEY {
+            key = self.key_routes.len() as KeyId;
+            self.key_routes.push(route);
+            self.key_first.push(position);
+            self.route_to_key[route as usize] = key;
+        }
+        let row = &mut self.rows[interval];
+        if key as usize >= row.len() {
+            row.resize(key as usize + 1, 0);
+        }
+        row[key as usize] += u64::from(meta.wire_len);
         self.stats.attributed += 1;
         self.stats.attributed_bytes += u64::from(meta.wire_len);
     }
@@ -122,23 +238,55 @@ impl<'t> Aggregator<'t> {
     /// Convert accumulated bytes to average bandwidths and produce the
     /// matrix.
     pub fn finish(self) -> (BandwidthMatrix, AggregatorStats) {
-        let secs = self.interval_secs as f64;
-        let intervals: Vec<Vec<(KeyId, f32)>> = self
-            .bytes
-            .into_iter()
-            .map(|m| {
-                let mut v: Vec<(KeyId, f32)> = m
-                    .into_iter()
-                    .map(|(id, bytes)| (id, (bytes as f64 * 8.0 / secs) as f32))
-                    .collect();
-                v.sort_unstable_by_key(|&(id, _)| id);
-                v
-            })
+        let keys: Vec<Prefix> = self
+            .key_routes
+            .iter()
+            .map(|&r| self.table.get().prefix(r))
             .collect();
-        let matrix =
-            BandwidthMatrix::from_parts(self.interval_secs, self.start_unix, self.keys, intervals);
+        let matrix = matrix_from_rows(self.interval_secs, self.start_unix, keys, &self.rows);
         (matrix, self.stats)
     }
+
+    /// Decompose into shard-merge parts.
+    fn into_parts(self) -> ShardParts {
+        ShardParts {
+            key_routes: self.key_routes,
+            key_first: self.key_first,
+            rows: self.rows,
+            stats: self.stats,
+        }
+    }
+}
+
+/// One shard's accumulation state, ready for merging.
+struct ShardParts {
+    key_routes: Vec<RouteId>,
+    key_first: Vec<u64>,
+    rows: Vec<Vec<u64>>,
+    stats: AggregatorStats,
+}
+
+/// Dense byte rows → sparse bandwidth matrix. Entries that accumulated
+/// zero bytes are omitted, exactly like a key that never appeared in
+/// the interval.
+fn matrix_from_rows(
+    interval_secs: u64,
+    start_unix: u64,
+    keys: Vec<Prefix>,
+    rows: &[Vec<u64>],
+) -> BandwidthMatrix {
+    let secs = interval_secs as f64;
+    let intervals: Vec<Vec<(KeyId, f32)>> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &bytes)| bytes > 0)
+                .map(|(key, &bytes)| (key as KeyId, (bytes as f64 * 8.0 / secs) as f32))
+                .collect()
+        })
+        .collect();
+    BandwidthMatrix::from_parts(interval_secs, start_unix, keys, intervals)
 }
 
 /// Aggregate a whole pcap stream. Records that fail structural pcap
@@ -155,8 +303,9 @@ pub fn aggregate_pcap<R: Read>(
     let mut reader = PcapReader::new(input)?;
     let link = LinkType::from_code(reader.header().linktype)?;
     let mut agg = Aggregator::new(table, interval_secs, start_unix, n_intervals);
-    while let Some(record) = reader.next_record()? {
-        match parse_record_meta(link, &record) {
+    let mut buf = Vec::new();
+    while let Some(head) = reader.next_record_into(&mut buf)? {
+        match parse_buf_meta(link, &buf, &head) {
             Ok(meta) => agg.observe(&meta),
             Err(_) => {
                 agg.stats.offered += 1;
@@ -165,6 +314,263 @@ pub fn aggregate_pcap<R: Read>(
         }
     }
     Ok(agg.finish())
+}
+
+/// Records per batch sent from the scanner to the worker pool. At
+/// typical backbone packet sizes one batch is a couple of MiB of
+/// capture — coarse enough that channel traffic is negligible, fine
+/// enough that the pool load-balances.
+const PARALLEL_BATCH: usize = 4096;
+
+/// One unit of scanner → worker work: the batch's starting stream
+/// position and its record slices (borrowed from the capture buffer).
+type Batch<'p> = (u64, Vec<(RecordHeader, &'p [u8])>);
+
+/// [`aggregate_pcap`] across worker threads.
+///
+/// The capture is processed as a pipeline: this thread scans the
+/// in-memory capture into zero-copy record batches ([`PcapSlice`])
+/// while a helper thread freezes the table and then fans the batches
+/// out to a worker pool; each worker aggregates its batches against
+/// the shared frozen table, and shard results are merged at the end.
+/// Scanning, freezing and packet parsing all overlap.
+///
+/// The merge reconstructs the global first-seen key order from each
+/// shard's recorded first-touch stream positions, so the returned
+/// matrix and statistics are **byte-identical** to the serial path on
+/// the same input (asserted by the pipeline-equivalence tests): byte
+/// counts are exact `u64` sums whichever thread they land on, and the
+/// bytes→rate float conversion happens once, after merging.
+///
+/// `threads == 0` selects the available hardware parallelism. The
+/// capture must be in memory (or memory-mapped) for splitting; use the
+/// streaming serial [`aggregate_pcap`] when that is unacceptable. When
+/// aggregating many captures against one table, freeze it once and call
+/// [`aggregate_pcap_parallel_frozen`].
+pub fn aggregate_pcap_parallel(
+    pcap: &[u8],
+    table: &BgpTable,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+    threads: usize,
+) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
+    aggregate_parallel_impl(
+        pcap,
+        TableSource::Live(table),
+        interval_secs,
+        start_unix,
+        n_intervals,
+        threads,
+    )
+}
+
+/// [`aggregate_pcap_parallel`] against an already-frozen table — the
+/// steady-state form when one RIB serves many captures (or one capture
+/// per measurement interval).
+pub fn aggregate_pcap_parallel_frozen(
+    pcap: &[u8],
+    frozen: &FrozenBgpTable,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+    threads: usize,
+) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
+    aggregate_parallel_impl(
+        pcap,
+        TableSource::Frozen(frozen),
+        interval_secs,
+        start_unix,
+        n_intervals,
+        threads,
+    )
+}
+
+/// Where the frozen attribution table comes from.
+#[derive(Clone, Copy)]
+enum TableSource<'a> {
+    /// Freeze this live table (overlapped with the record scan).
+    Live(&'a BgpTable),
+    /// Use an existing freeze.
+    Frozen(&'a FrozenBgpTable),
+}
+
+fn aggregate_parallel_impl(
+    pcap: &[u8],
+    source: TableSource<'_>,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+    threads: usize,
+) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads.max(1)
+    };
+
+    let mut cursor = PcapSlice::new(pcap)?;
+    let link = LinkType::from_code(cursor.header().linktype)?;
+
+    // A frozen reference usable after the scope (the Live case instead
+    // moves its freshly-built table out of the driver thread).
+    let caller_frozen = match source {
+        TableSource::Frozen(f) => Some(f),
+        TableSource::Live(_) => None,
+    };
+
+    let (tx, rx) = std::sync::mpsc::channel::<Batch<'_>>();
+    let rx = std::sync::Mutex::new(rx);
+
+    let ((frozen_owned, shards), scan_result) = std::thread::scope(|scope| {
+        // Driver thread: freeze (if needed), then run the worker pool
+        // against the batch channel. Meanwhile this thread scans.
+        let rx = &rx;
+        let driver = scope.spawn(move || {
+            let frozen_owned = match source {
+                TableSource::Live(table) => Some(table.freeze()),
+                TableSource::Frozen(_) => None,
+            };
+            let frozen: &FrozenBgpTable = match source {
+                TableSource::Live(_) => frozen_owned.as_ref().expect("just frozen"),
+                TableSource::Frozen(f) => f,
+            };
+            let shards: Vec<ShardParts> = std::thread::scope(|pool| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        pool.spawn(move || {
+                            let mut agg = Aggregator::with_frozen(
+                                frozen,
+                                interval_secs,
+                                start_unix,
+                                n_intervals,
+                            );
+                            loop {
+                                // Hold the lock only to pull a batch.
+                                let batch = rx.lock().expect("receiver lock").recv();
+                                let Ok((start, records)) = batch else {
+                                    break; // scanner done and channel drained
+                                };
+                                for (i, (head, data)) in records.iter().enumerate() {
+                                    match parse_buf_meta(link, data, head) {
+                                        Ok(meta) => agg.observe_at(&meta, start + i as u64),
+                                        Err(_) => {
+                                            agg.stats.offered += 1;
+                                            agg.stats.malformed += 1;
+                                        }
+                                    }
+                                }
+                            }
+                            agg.into_parts()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard aggregation does not panic"))
+                    .collect()
+            });
+            (frozen_owned, shards)
+        });
+
+        // Scanner: batch up record slices. A structural error aborts
+        // the scan (as in the serial path); already-sent batches are
+        // drained by the workers and discarded with the error below.
+        let scan = (|| -> eleph_packet::Result<()> {
+            let mut position: u64 = 0;
+            let mut batch: Vec<(RecordHeader, &[u8])> = Vec::with_capacity(PARALLEL_BATCH);
+            let mut batch_start: u64 = 0;
+            while let Some(rec) = cursor.next_record()? {
+                batch.push(rec);
+                position += 1;
+                if batch.len() == PARALLEL_BATCH {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(PARALLEL_BATCH));
+                    let _ = tx.send((batch_start, full));
+                    batch_start = position;
+                }
+            }
+            if !batch.is_empty() {
+                let _ = tx.send((batch_start, batch));
+            }
+            Ok(())
+        })();
+        drop(tx); // close the channel: workers drain and exit
+
+        (driver.join().expect("driver does not panic"), scan)
+    });
+    scan_result?;
+    let frozen = frozen_owned
+        .as_ref()
+        .or(caller_frozen)
+        .expect("one table source is always present");
+
+    Ok(merge_shards(
+        shards,
+        frozen,
+        interval_secs,
+        start_unix,
+        n_intervals,
+    ))
+}
+
+/// Merge shard accumulations into the final matrix.
+///
+/// Keys are ordered by the *global* stream position at which any shard
+/// first saw their route — exactly the serial first-seen order, however
+/// the records were partitioned. Byte counts are exact integer sums, so
+/// the result is bit-identical to serial aggregation.
+fn merge_shards(
+    shards: Vec<ShardParts>,
+    frozen: &FrozenBgpTable,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+) -> (BandwidthMatrix, AggregatorStats) {
+    let n_routes = frozen.len();
+    // Earliest first-touch position per route across shards.
+    let mut first_seen: Vec<u64> = vec![u64::MAX; n_routes];
+    let mut stats = AggregatorStats::default();
+    for shard in &shards {
+        for (local, &route) in shard.key_routes.iter().enumerate() {
+            let at = shard.key_first[local];
+            if at < first_seen[route as usize] {
+                first_seen[route as usize] = at;
+            }
+        }
+        stats.merge(&shard.stats);
+    }
+
+    // Global key order: routes sorted by first touch.
+    let mut order: Vec<(u64, RouteId)> = first_seen
+        .iter()
+        .enumerate()
+        .filter(|&(_, &at)| at != u64::MAX)
+        .map(|(route, &at)| (at, route as RouteId))
+        .collect();
+    order.sort_unstable();
+    let mut route_to_key: Vec<KeyId> = vec![NO_KEY; n_routes];
+    let mut keys: Vec<Prefix> = Vec::with_capacity(order.len());
+    for (key, &(_, route)) in order.iter().enumerate() {
+        route_to_key[route as usize] = key as KeyId;
+        keys.push(frozen.prefix(route));
+    }
+
+    let mut rows: Vec<Vec<u64>> = vec![vec![0u64; keys.len()]; n_intervals];
+    for shard in &shards {
+        for (interval, shard_row) in shard.rows.iter().enumerate() {
+            let row = &mut rows[interval];
+            for (local, &bytes) in shard_row.iter().enumerate() {
+                if bytes == 0 {
+                    continue;
+                }
+                let key = route_to_key[shard.key_routes[local] as usize];
+                row[key as usize] += bytes;
+            }
+        }
+    }
+
+    let matrix = matrix_from_rows(interval_secs, start_unix, keys, &rows);
+    (matrix, stats)
 }
 
 #[cfg(test)]
@@ -225,6 +631,31 @@ mod tests {
         assert_eq!(m.rate(0, p16), 0.0);
         assert_eq!(m.rate(1, p16), 240.0);
         assert_eq!(m.rate(2, p8), 160.0);
+    }
+
+    #[test]
+    fn keys_are_first_seen_order() {
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 0, 1);
+        agg.observe(&meta([10, 1, 0, 1], 0, 100)); // /16 first
+        agg.observe(&meta([10, 2, 0, 1], 1, 100)); // /8 second
+        let (m, _) = agg.finish();
+        assert_eq!(m.key(0), "10.1.0.0/16".parse().unwrap());
+        assert_eq!(m.key(1), "10.0.0.0/8".parse().unwrap());
+    }
+
+    #[test]
+    fn shared_frozen_table_aggregation() {
+        let t = table();
+        let frozen = t.freeze();
+        let mut a = Aggregator::with_frozen(&frozen, 10, 0, 1);
+        let mut b = Aggregator::with_frozen(&frozen, 10, 0, 1);
+        a.observe(&meta([10, 2, 0, 1], 5, 100));
+        b.observe(&meta([10, 2, 0, 1], 5, 100));
+        let (ma, _) = a.finish();
+        let (mb, _) = b.finish();
+        let key = ma.key_id("10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(ma.rate(0, key), mb.rate(0, key));
     }
 
     #[test]
@@ -296,6 +727,64 @@ mod tests {
         assert_eq!(stats.malformed, 1);
         assert!(stats.is_conserved());
         assert_eq!(m.n_keys(), 1);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_exactly() {
+        use eleph_packet::pcap::PcapWriter;
+        let t = table();
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, LinkType::RawIp.code()).unwrap();
+        // A little stream mixing both prefixes, malformed records, and
+        // all three intervals; /16 traffic appears before /8 so the
+        // merge must also preserve first-seen key order across shards.
+        for i in 0..40u64 {
+            let dst = if i % 3 == 0 {
+                Ipv4Addr::new(10, 1, 0, (i % 256) as u8)
+            } else {
+                Ipv4Addr::new(10, 2, 0, (i % 256) as u8)
+            };
+            let pkt = PacketBuilder::udp()
+                .src(Ipv4Addr::new(198, 18, 0, 1), 9)
+                .dst(dst, 53)
+                .payload_len((i * 13 % 700) as usize)
+                .build_ipv4();
+            w.write_record(i * 700_000_000, pkt.len() as u32, &pkt).unwrap();
+            if i % 11 == 0 {
+                w.write_record(i * 700_000_000, 4, &[1, 2, 3, 4]).unwrap();
+            }
+        }
+        w.finish().unwrap();
+
+        let (sm, ss) = aggregate_pcap(&buf[..], &t, 10, 0, 3).unwrap();
+        for threads in [1, 2, 3, 7, 64] {
+            let (pm, ps) = aggregate_pcap_parallel(&buf[..], &t, 10, 0, 3, threads).unwrap();
+            assert_eq!(ss, ps, "{threads} threads: stats diverge");
+            assert_eq!(sm.n_keys(), pm.n_keys());
+            for k in 0..sm.n_keys() as KeyId {
+                assert_eq!(sm.key(k), pm.key(k), "{threads} threads: key order diverges");
+            }
+            for n in 0..sm.n_intervals() {
+                assert_eq!(
+                    sm.interval(n),
+                    pm.interval(n),
+                    "{threads} threads: interval {n} diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_empty_stream() {
+        use eleph_packet::pcap::PcapWriter;
+        let t = table();
+        let mut buf = Vec::new();
+        let w = PcapWriter::new(&mut buf, LinkType::RawIp.code()).unwrap();
+        w.finish().unwrap();
+        let (m, stats) = aggregate_pcap_parallel(&buf[..], &t, 10, 0, 2, 0).unwrap();
+        assert_eq!(stats.offered, 0);
+        assert_eq!(m.n_keys(), 0);
+        assert_eq!(m.n_intervals(), 2);
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //!   integration tests pin packet-level equivalence);
 //! * [`Aggregator`] — streaming packet-to-interval aggregation with full
 //!   accounting ([`AggregatorStats`]): malformed, unroutable and
-//!   out-of-window packets are counted, never silently dropped;
+//!   out-of-window packets are counted, never silently dropped. The hot
+//!   path is allocation- and hash-free: frozen flat-array attribution
+//!   (`eleph_bgp::FrozenBgpTable`) into dense per-interval byte rows;
 //! * [`aggregate_pcap`] — drive an [`Aggregator`] from a capture file;
+//! * [`aggregate_pcap_parallel`] — the sharded multi-thread form, with
+//!   output byte-identical to the serial path;
 //! * [`busiest_window`] — locate the paper's "five hour busy period".
 
 #![forbid(unsafe_code)]
@@ -25,6 +29,9 @@ mod aggregate;
 mod matrix;
 mod window;
 
-pub use aggregate::{aggregate_pcap, Aggregator, AggregatorStats};
+pub use aggregate::{
+    aggregate_pcap, aggregate_pcap_parallel, aggregate_pcap_parallel_frozen, Aggregator,
+    AggregatorStats,
+};
 pub use matrix::{BandwidthMatrix, KeyId};
 pub use window::busiest_window;

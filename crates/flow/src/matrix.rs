@@ -1,9 +1,8 @@
 //! The sparse per-prefix, per-interval bandwidth matrix.
 
-use std::collections::HashMap;
-
 use eleph_net::Prefix;
 use eleph_trace::RateTrace;
+use rustc_hash::FxHashMap;
 
 /// Dense integer id for a prefix within one [`BandwidthMatrix`].
 pub type KeyId = u32;
@@ -21,7 +20,7 @@ pub struct BandwidthMatrix {
     interval_secs: u64,
     start_unix: u64,
     keys: Vec<Prefix>,
-    index: HashMap<Prefix, KeyId>,
+    index: FxHashMap<Prefix, KeyId>,
     intervals: Vec<Vec<(KeyId, f32)>>,
     totals: Vec<f64>,
 }

@@ -1,0 +1,386 @@
+//! DIR-24-8-style flat-array LPM — the frozen read path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Prefix;
+
+/// Slot encoding for [`FlatLpm`]'s tables.
+///
+/// `0` = no matching entry. Otherwise, in stage 1, bit 31 set means the
+/// low bits index a 256-slot spill block (the covered /24 contains a
+/// prefix longer than /24); bit 31 clear means the low bits are
+/// `entry_index + 1`. Spill slots use the `entry_index + 1` encoding
+/// only.
+const EMPTY: u32 = 0;
+const SPILL_BIT: u32 = 1 << 31;
+
+/// A read-optimized, frozen longest-prefix-match table in the style of
+/// DIR-24-8 (Gupta/Lin/McKeown's "Routing Lookups in Hardware at Memory
+/// Access Speeds"), the layout hardware and kernel fast paths use.
+///
+/// Stage 1 is a direct-indexed array over the top 24 address bits
+/// (2²⁴ × 4 B = 64 MiB); prefixes longer than /24 spill into per-/24
+/// blocks of 256 slots indexed by the last octet. Every lookup is
+/// therefore **O(1) with at most two dependent memory reads**, versus
+/// the pointer chase of a trie — on a backbone RIB this is roughly an
+/// order of magnitude faster per lookup (see `crates/bench/benches/lpm.rs`).
+///
+/// The table is *frozen*: built once from any existing [`crate::Lpm`] (or an
+/// entry iterator) and immutable afterwards — matching how routers
+/// separate the RIB (updated by BGP) from the FIB (optimized for the
+/// data plane). Entries are stored densely in RIB-dump order, so
+/// [`FlatLpm::lookup_id`] also serves as a perfect `Prefix → dense id`
+/// resolver for downstream accounting.
+#[derive(Clone)]
+pub struct FlatLpm<V> {
+    /// Direct index over `addr >> 8`.
+    stage1: Vec<u32>,
+    /// 256-slot blocks for /24s containing longer-than-/24 prefixes.
+    spill: Vec<u32>,
+    /// Prefixes in ascending (RIB-dump) order; parallel to `values`.
+    prefixes: Vec<Prefix>,
+    /// Route values, dense, parallel to `prefixes`.
+    values: Vec<V>,
+}
+
+impl<V> FlatLpm<V> {
+    /// Build from `(prefix, value)` entries. A later duplicate prefix
+    /// replaces the earlier one, matching repeated [`crate::Lpm::insert`].
+    pub fn from_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Prefix, V)>,
+    {
+        // Deduplicate (last wins) and fix the dense id order to the
+        // prefix sort order — the conventional RIB dump order.
+        let dedup: BTreeMap<Prefix, V> = entries.into_iter().collect();
+        let mut prefixes = Vec::with_capacity(dedup.len());
+        let mut values = Vec::with_capacity(dedup.len());
+        for (p, v) in dedup {
+            prefixes.push(p);
+            values.push(v);
+        }
+
+        let mut stage1 = vec![EMPTY; 1 << 24];
+        let mut spill: Vec<u32> = Vec::new();
+
+        // Paint in ascending prefix-length order so longer (more
+        // specific) prefixes overwrite shorter ones; equal-length
+        // prefixes are disjoint, so their paint order is irrelevant.
+        let mut by_len: Vec<u32> = (0..prefixes.len() as u32).collect();
+        by_len.sort_unstable_by_key(|&i| prefixes[i as usize].len());
+
+        for &id in &by_len {
+            let prefix = prefixes[id as usize];
+            let encoded = id + 1;
+            if prefix.len() <= 24 {
+                // All spill blocks are created later (for longer
+                // prefixes), so painting stage 1 directly is complete.
+                let lo = (prefix.bits() >> 8) as usize;
+                let count = 1usize << (24 - prefix.len());
+                stage1[lo..lo + count].fill(encoded);
+            } else {
+                let block = (prefix.bits() >> 8) as usize;
+                let base = match stage1[block] {
+                    s if s & SPILL_BIT != 0 => ((s & !SPILL_BIT) as usize) << 8,
+                    s => {
+                        // First long prefix in this /24: open a spill
+                        // block inheriting the current shorter match.
+                        let base = spill.len();
+                        spill.resize(base + 256, s);
+                        stage1[block] = SPILL_BIT | (base >> 8) as u32;
+                        base
+                    }
+                };
+                let lo = (prefix.bits() & 0xFF) as usize;
+                let count = 1usize << (32 - prefix.len());
+                spill[base + lo..base + lo + count].fill(encoded);
+            }
+        }
+
+        FlatLpm {
+            stage1,
+            spill,
+            prefixes,
+            values,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// The dense id of the longest prefix containing `addr`, if any.
+    ///
+    /// Ids are indices into RIB-dump order: `0..len()`, stable for the
+    /// lifetime of the table. This is the allocation- and hash-free
+    /// attribution primitive the packet hot path uses.
+    #[inline]
+    pub fn lookup_id(&self, addr: u32) -> Option<u32> {
+        let slot = self.stage1[(addr >> 8) as usize];
+        let resolved = if slot & SPILL_BIT == 0 {
+            slot
+        } else {
+            let base = ((slot & !SPILL_BIT) as usize) << 8;
+            self.spill[base + (addr & 0xFF) as usize]
+        };
+        if resolved == EMPTY {
+            None
+        } else {
+            Some(resolved - 1)
+        }
+    }
+
+    /// Longest-prefix match returning the dense id alongside the entry.
+    #[inline]
+    pub fn lookup_with_id(&self, addr: u32) -> Option<(u32, Prefix, &V)> {
+        let id = self.lookup_id(addr)?;
+        Some((id, self.prefixes[id as usize], &self.values[id as usize]))
+    }
+
+    /// Longest-prefix match for a host-order address.
+    #[inline]
+    pub fn lookup(&self, addr: u32) -> Option<(Prefix, &V)> {
+        let id = self.lookup_id(addr)?;
+        Some((self.prefixes[id as usize], &self.values[id as usize]))
+    }
+
+    /// Longest-prefix match for an [`std::net::Ipv4Addr`].
+    #[inline]
+    pub fn lookup_addr(&self, addr: std::net::Ipv4Addr) -> Option<(Prefix, &V)> {
+        self.lookup(u32::from(addr))
+    }
+
+    /// Exact-match fetch.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let id = self.id_of(prefix)?;
+        Some(&self.values[id as usize])
+    }
+
+    /// The dense id of exactly `prefix`, if present.
+    pub fn id_of(&self, prefix: Prefix) -> Option<u32> {
+        self.prefixes.binary_search(&prefix).ok().map(|i| i as u32)
+    }
+
+    /// The prefix stored under dense id `id`.
+    #[inline]
+    pub fn prefix(&self, id: u32) -> Prefix {
+        self.prefixes[id as usize]
+    }
+
+    /// The value stored under dense id `id`.
+    #[inline]
+    pub fn value(&self, id: u32) -> &V {
+        &self.values[id as usize]
+    }
+
+    /// Iterate entries in RIB-dump order (= dense id order).
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        self.prefixes.iter().copied().zip(self.values.iter())
+    }
+
+    /// Bytes of table memory (stage 1 + spill blocks), excluding the
+    /// entry arrays — the cache-footprint diagnostic.
+    pub fn table_bytes(&self) -> usize {
+        (self.stage1.len() + self.spill.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Number of 256-slot spill blocks (/24s containing >/24 prefixes).
+    pub fn spill_blocks(&self) -> usize {
+        self.spill.len() / 256
+    }
+}
+
+impl<V: Clone> From<&crate::CompressedTrieLpm<V>> for FlatLpm<V> {
+    fn from(table: &crate::CompressedTrieLpm<V>) -> Self {
+        Self::from_entries(table.iter().map(|(p, v)| (p, v.clone())))
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for FlatLpm<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        Self::from_entries(iter)
+    }
+}
+
+// The derived Debug would print 16M stage-1 slots; summarize instead.
+impl<V: fmt::Debug> fmt::Debug for FlatLpm<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlatLpm")
+            .field("len", &self.len())
+            .field("spill_blocks", &self.spill_blocks())
+            .field("table_bytes", &self.table_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressedTrieLpm, LinearLpm, Lpm};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn basic_longest_match() {
+        let t = FlatLpm::from_entries(vec![
+            (p("0.0.0.0/0"), "default"),
+            (p("10.0.0.0/8"), "eight"),
+            (p("10.1.0.0/16"), "sixteen"),
+            (p("10.1.2.0/24"), "twentyfour"),
+            (p("10.1.2.128/25"), "twentyfive"),
+        ]);
+        let case = |addr: &str| {
+            t.lookup_addr(addr.parse().unwrap())
+                .map(|(p, v)| (p.to_string(), *v))
+                .unwrap()
+        };
+        assert_eq!(case("10.1.2.200"), ("10.1.2.128/25".into(), "twentyfive"));
+        assert_eq!(case("10.1.2.3"), ("10.1.2.0/24".into(), "twentyfour"));
+        assert_eq!(case("10.1.9.3"), ("10.1.0.0/16".into(), "sixteen"));
+        assert_eq!(case("10.200.0.1"), ("10.0.0.0/8".into(), "eight"));
+        assert_eq!(case("203.0.113.7"), ("0.0.0.0/0".into(), "default"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: FlatLpm<u32> = FlatLpm::from_entries(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(0), None);
+        assert_eq!(t.lookup(u32::MAX), None);
+        assert_eq!(t.lookup_id(12345), None);
+        assert_eq!(t.spill_blocks(), 0);
+    }
+
+    #[test]
+    fn default_route_covers_everything() {
+        let t = FlatLpm::from_entries(vec![(p("0.0.0.0/0"), 1u32)]);
+        for addr in [0u32, 1, 0x0A00_0001, u32::MAX] {
+            assert_eq!(t.lookup(addr).map(|(pfx, v)| (pfx, *v)), Some((p("0.0.0.0/0"), 1)));
+        }
+    }
+
+    #[test]
+    fn host_routes_and_spill_inheritance() {
+        // A /32 inside a /24 inside a /8: the spill block must inherit
+        // the /24 for the other 255 last-octet values.
+        let t = FlatLpm::from_entries(vec![
+            (p("10.0.0.0/8"), 8u8),
+            (p("10.1.2.0/24"), 24),
+            (p("10.1.2.77/32"), 32),
+        ]);
+        assert_eq!(t.spill_blocks(), 1);
+        assert_eq!(*t.lookup_addr("10.1.2.77".parse().unwrap()).unwrap().1, 32);
+        assert_eq!(*t.lookup_addr("10.1.2.78".parse().unwrap()).unwrap().1, 24);
+        assert_eq!(*t.lookup_addr("10.1.3.77".parse().unwrap()).unwrap().1, 8);
+    }
+
+    #[test]
+    fn long_prefix_without_short_cover() {
+        // A lone /30: only its 4 addresses match, nothing else in the
+        // /24 does.
+        let t = FlatLpm::from_entries(vec![(p("192.0.2.64/30"), ())]);
+        assert_eq!(t.spill_blocks(), 1);
+        for last in 64..68u32 {
+            assert!(t.lookup(0xC000_0200 | last).is_some(), "last octet {last}");
+        }
+        assert!(t.lookup(0xC000_0200 | 63).is_none());
+        assert!(t.lookup(0xC000_0200 | 68).is_none());
+        assert!(t.lookup(0xC000_0300).is_none());
+    }
+
+    #[test]
+    fn nested_long_prefixes_in_one_block() {
+        let t = FlatLpm::from_entries(vec![
+            (p("10.0.0.0/25"), 25u8),
+            (p("10.0.0.0/26"), 26),
+            (p("10.0.0.0/28"), 28),
+        ]);
+        assert_eq!(t.spill_blocks(), 1);
+        assert_eq!(*t.lookup(0x0A00_0000).unwrap().1, 28);
+        assert_eq!(*t.lookup(0x0A00_0000 + 20).unwrap().1, 26);
+        assert_eq!(*t.lookup(0x0A00_0000 + 70).unwrap().1, 25);
+        assert_eq!(t.lookup(0x0A00_0000 + 130), None);
+    }
+
+    #[test]
+    fn duplicate_prefix_last_wins() {
+        let t = FlatLpm::from_entries(vec![(p("10.0.0.0/8"), 1u32), (p("10.0.0.0/8"), 2)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn get_is_exact_and_ids_are_dump_order() {
+        let t = FlatLpm::from_entries(vec![
+            (p("10.1.0.0/16"), "b"),
+            (p("9.0.0.0/8"), "a"),
+            (p("10.1.2.0/24"), "c"),
+        ]);
+        assert_eq!(t.get(p("9.0.0.0/8")), Some(&"a"));
+        assert_eq!(t.get(p("9.0.0.0/9")), None);
+        // Dense ids follow RIB-dump (sorted) order.
+        assert_eq!(t.id_of(p("9.0.0.0/8")), Some(0));
+        assert_eq!(t.id_of(p("10.1.0.0/16")), Some(1));
+        assert_eq!(t.id_of(p("10.1.2.0/24")), Some(2));
+        assert_eq!(t.prefix(2), p("10.1.2.0/24"));
+        assert_eq!(*t.value(0), "a");
+        let order: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(order, vec![p("9.0.0.0/8"), p("10.1.0.0/16"), p("10.1.2.0/24")]);
+    }
+
+    #[test]
+    fn matches_trie_on_a_mixed_table() {
+        let entries = vec![
+            (p("0.0.0.0/0"), 0u32),
+            (p("10.0.0.0/8"), 1),
+            (p("10.128.0.0/9"), 2),
+            (p("10.1.0.0/16"), 3),
+            (p("10.1.2.0/24"), 4),
+            (p("10.1.2.0/25"), 5),
+            (p("10.1.2.128/26"), 6),
+            (p("10.1.2.77/32"), 7),
+            (p("203.0.113.0/24"), 8),
+        ];
+        let mut trie = CompressedTrieLpm::new();
+        let mut linear = LinearLpm::new();
+        for (pfx, v) in &entries {
+            trie.insert(*pfx, *v);
+            linear.insert(*pfx, *v);
+        }
+        let flat = FlatLpm::from(&trie);
+        assert_eq!(flat.len(), trie.len());
+        // Probe every entry's own range boundaries plus neighbours.
+        let mut probes: Vec<u32> = Vec::new();
+        for (pfx, _) in &entries {
+            probes.push(pfx.bits());
+            probes.push(u32::from(pfx.last_addr()));
+            probes.push(pfx.bits().wrapping_sub(1));
+            probes.push(u32::from(pfx.last_addr()).wrapping_add(1));
+        }
+        for addr in probes {
+            let want = linear.lookup(addr).map(|(p, v)| (p, *v));
+            assert_eq!(
+                flat.lookup(addr).map(|(p, v)| (p, *v)),
+                want,
+                "addr {addr:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let t = FlatLpm::from_entries(vec![(p("10.0.0.0/25"), ())]);
+        let s = format!("{t:?}");
+        assert!(s.len() < 200, "debug output too verbose: {s}");
+        assert!(s.contains("spill_blocks: 1"));
+    }
+}

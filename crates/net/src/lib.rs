@@ -10,16 +10,38 @@
 //!   algebra (containment, overlap, parent/children) the rest of the system
 //!   builds on;
 //! * [`Lpm`] — the longest-prefix-match interface, with four interchangeable
-//!   implementations:
+//!   updatable implementations:
 //!   [`LinearLpm`] (naive reference used as a test oracle),
 //!   [`TrieLpm`] (one-bit-per-level binary trie),
-//!   [`CompressedTrieLpm`] (path-compressed radix trie, the production
+//!   [`CompressedTrieLpm`] (path-compressed radix trie, the updatable
 //!   default), and [`PerLengthLpm`] (one hash map per prefix length,
 //!   searched longest-first);
+//! * [`FlatLpm`] — a frozen, DIR-24-8-style flat-array table built once
+//!   from any of the above; the read path of the packet pipeline;
 //! * [`PrefixSet`] — an aggregating set of prefixes (used for RIB synthesis
 //!   and the prefix-length analysis of the paper's §III).
 //!
 //! All tables are generic over the attached route value `V`.
+//!
+//! # Choosing a table backend
+//!
+//! | backend | build cost | update | lookup cost | memory | use when |
+//! |---|---|---|---|---|---|
+//! | [`LinearLpm`] | O(1)/insert | yes | O(n) scan | ~n | test oracle only |
+//! | [`TrieLpm`] | O(len)/insert | yes | up to 32 node hops | node per bit | didactic baseline |
+//! | [`CompressedTrieLpm`] | O(len)/insert | yes | ≤ nesting-depth hops | node per entry | the *updatable* RIB: streaming route churn |
+//! | [`PerLengthLpm`] | O(1)/insert | yes | ≤ 33 hash probes | map per length | batch jobs dominated by inserts |
+//! | [`FlatLpm`] | O(n + painted range) freeze | **no** (rebuild) | **O(1), ≤ 2 dependent reads** | 64 MiB + 1 KiB per spilled /24 | the *read* path: per-packet attribution at line rate |
+//!
+//! The intended production shape mirrors a router's RIB/FIB split: keep
+//! a [`CompressedTrieLpm`] as the updatable source of truth, and freeze
+//! it into a [`FlatLpm`] (`FlatLpm::from(&trie)`) whenever the table
+//! changes; serve all lookups from the frozen copy. On a ~100k-prefix
+//! backbone table the flat table answers a lookup in a handful of
+//! nanoseconds — several times faster than the compressed trie (see
+//! `crates/bench/benches/lpm.rs`) — and its dense entry ids double as
+//! allocation-free accounting keys (`eleph_bgp::FrozenBgpTable`,
+//! `eleph_flow::Aggregator`).
 //!
 //! # Example
 //!
@@ -40,6 +62,7 @@
 
 mod compressed;
 mod error;
+mod flat;
 mod linear;
 mod perlength;
 mod prefix;
@@ -48,6 +71,7 @@ mod trie;
 
 pub use compressed::CompressedTrieLpm;
 pub use error::PrefixError;
+pub use flat::FlatLpm;
 pub use linear::LinearLpm;
 pub use perlength::PerLengthLpm;
 pub use prefix::Prefix;

@@ -1,6 +1,6 @@
 //! LPM via one hash map per prefix length, searched longest-first.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use crate::prefix::mask;
 use crate::{Lpm, Prefix};
@@ -15,7 +15,7 @@ use crate::{Lpm, Prefix};
 /// lookup-heavy workloads (see the `lpm` bench).
 #[derive(Debug, Clone)]
 pub struct PerLengthLpm<V> {
-    maps: Vec<HashMap<u32, V>>,
+    maps: Vec<FxHashMap<u32, V>>,
     /// Bit `l` set iff `maps[l]` is non-empty; lets lookups skip empty
     /// lengths without touching the maps.
     populated: u64,
@@ -32,7 +32,7 @@ impl<V> PerLengthLpm<V> {
     /// Create an empty table.
     pub fn new() -> Self {
         PerLengthLpm {
-            maps: (0..=32).map(|_| HashMap::new()).collect(),
+            maps: (0..=32).map(|_| FxHashMap::default()).collect(),
             populated: 0,
             len: 0,
         }

@@ -3,7 +3,7 @@
 //! random prefixes.
 
 use eleph_net::{
-    CompressedTrieLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, PrefixSet, TrieLpm,
+    CompressedTrieLpm, FlatLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, PrefixSet, TrieLpm,
 };
 use proptest::prelude::*;
 
@@ -162,5 +162,47 @@ proptest! {
         let mut twice = once.clone();
         twice.aggregate();
         prop_assert_eq!(once, twice);
+    }
+}
+
+// The frozen flat table allocates its 64 MiB stage-1 array per build, so
+// this block runs fewer cases than the incremental-table properties above;
+// the generator deliberately covers >/24 prefixes, shadowed prefixes, the
+// default route and the empty table.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_lpm_agrees_with_compressed_trie(entries in arb_table(), queries in prop::collection::vec(any::<u32>(), 0..64)) {
+        let compressed = CompressedTrieLpm::from_entries(entries.iter().copied());
+        // Build once from the entry list and once from the live trie:
+        // both construction paths must agree.
+        let flat = FlatLpm::from_entries(entries.iter().copied());
+        let refrozen = FlatLpm::from(&compressed);
+        prop_assert_eq!(flat.len(), compressed.len());
+        prop_assert_eq!(refrozen.len(), compressed.len());
+
+        // Probe random addresses plus each entry's own network and last
+        // address (guaranteed hits, including inside spill blocks).
+        let extra: Vec<u32> = entries
+            .iter()
+            .flat_map(|(p, _)| [p.bits(), u32::from(p.last_addr())])
+            .collect();
+        for addr in queries.iter().chain(extra.iter()) {
+            let want = compressed.lookup(*addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(flat.lookup(*addr).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(refrozen.lookup(*addr).map(|(p, v)| (p, *v)), want);
+            // The dense-id lookup must resolve to the same prefix.
+            let id_prefix = flat.lookup_id(*addr).map(|id| flat.prefix(id));
+            prop_assert_eq!(id_prefix, want.map(|(p, _)| p));
+        }
+
+        // Exact-match agrees for every inserted prefix, and ids are
+        // consistent with dump order.
+        for (p, _) in &entries {
+            prop_assert_eq!(flat.get(*p), compressed.get(*p));
+            let id = flat.id_of(*p).expect("inserted prefix has an id");
+            prop_assert_eq!(flat.prefix(id), *p);
+        }
     }
 }

@@ -49,7 +49,7 @@ mod udp;
 pub use error::PacketError;
 pub use ethernet::{is_ipv4_frame, EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_MIN_HEADER_LEN};
-pub use meta::{parse_meta, parse_record_meta, LinkType, PacketBuilder, PacketMeta};
+pub use meta::{parse_buf_meta, parse_meta, parse_record_meta, LinkType, PacketBuilder, PacketMeta};
 pub use tcp::{TcpFlags, TcpSegment, TCP_MIN_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};
 

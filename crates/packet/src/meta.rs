@@ -113,8 +113,23 @@ pub fn parse_meta(link: LinkType, buf: &[u8], ts_ns: u64) -> Result<PacketMeta> 
 /// length over the (possibly snapped) captured length for bandwidth
 /// accounting.
 pub fn parse_record_meta(link: LinkType, record: &PcapRecord) -> Result<PacketMeta> {
-    let mut meta = parse_meta(link, &record.data, record.ts_ns)?;
-    meta.wire_len = record.orig_len;
+    let head = crate::pcap::RecordHeader {
+        ts_ns: record.ts_ns,
+        orig_len: record.orig_len,
+    };
+    parse_buf_meta(link, &record.data, &head)
+}
+
+/// [`parse_record_meta`] for the buffer-reusing read path
+/// ([`crate::pcap::PcapReader::next_record_into`]): captured bytes in
+/// `data`, timestamp and original length from `head`.
+pub fn parse_buf_meta(
+    link: LinkType,
+    data: &[u8],
+    head: &crate::pcap::RecordHeader,
+) -> Result<PacketMeta> {
+    let mut meta = parse_meta(link, data, head.ts_ns)?;
+    meta.wire_len = head.orig_len;
     Ok(meta)
 }
 

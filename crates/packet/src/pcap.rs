@@ -62,6 +62,16 @@ pub struct PcapRecord {
     pub data: Bytes,
 }
 
+/// Header fields of a record read by [`PcapReader::next_record_into`]
+/// (the captured bytes land in the caller's buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// Capture timestamp in nanoseconds since the epoch.
+    pub ts_ns: u64,
+    /// Original on-the-wire length (≥ captured length when snapped).
+    pub orig_len: u32,
+}
+
 /// Streaming writer for little-endian capture files.
 #[derive(Debug)]
 pub struct PcapWriter<W: Write> {
@@ -181,7 +191,26 @@ impl<R: Read> PcapReader<R> {
     }
 
     /// Read the next record; `Ok(None)` on clean end-of-file.
+    ///
+    /// Allocates a fresh buffer per record. Hot loops should prefer
+    /// [`PcapReader::next_record_into`], which reuses one buffer across
+    /// the whole stream.
     pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let mut data = Vec::new();
+        Ok(self.next_record_into(&mut data)?.map(|head| PcapRecord {
+            ts_ns: head.ts_ns,
+            orig_len: head.orig_len,
+            data: Bytes::from(data),
+        }))
+    }
+
+    /// Read the next record's bytes into `data` (cleared and refilled),
+    /// returning its header; `Ok(None)` on clean end-of-file.
+    ///
+    /// This is the zero-allocation streaming form: after the buffer has
+    /// grown to the stream's largest capture length, record iteration
+    /// allocates nothing.
+    pub fn next_record_into(&mut self, data: &mut Vec<u8>) -> Result<Option<RecordHeader>> {
         let mut rec_head = [0u8; 16];
         match read_exact_or_eof(&mut self.input, &mut rec_head)? {
             ReadOutcome::Eof => return Ok(None),
@@ -190,33 +219,43 @@ impl<R: Read> PcapReader<R> {
             }
             ReadOutcome::Full => {}
         }
-        let u32_at = |bytes: &[u8]| {
-            let raw = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
-            if self.header.swapped {
-                raw.swap_bytes()
-            } else {
-                raw
-            }
-        };
-        let secs = u32_at(&rec_head[0..4]) as u64;
-        let subsec = u32_at(&rec_head[4..8]) as u64;
-        let caplen = u32_at(&rec_head[8..12]);
-        let orig_len = u32_at(&rec_head[12..16]);
-        if caplen > MAX_SANE_CAPLEN {
-            return Err(PacketError::ImplausibleCaptureLen(caplen));
-        }
-        let mut data = vec![0u8; caplen as usize];
-        self.input.read_exact(&mut data)?;
-        let ts_ns = match self.header.resolution {
-            TsResolution::Micro => secs * 1_000_000_000 + subsec * 1_000,
-            TsResolution::Nano => secs * 1_000_000_000 + subsec,
-        };
-        Ok(Some(PcapRecord {
-            ts_ns,
-            orig_len,
-            data: Bytes::from(data),
-        }))
+        let (head, caplen) =
+            decode_record_header(&rec_head, self.header.swapped, self.header.resolution)?;
+        data.clear();
+        data.resize(caplen as usize, 0);
+        self.input.read_exact(data)?;
+        Ok(Some(head))
     }
+}
+
+/// Decode one 16-byte record header, shared by the streaming reader and
+/// the slice cursor so their interpretations cannot diverge. Returns
+/// the normalised header and the captured length.
+fn decode_record_header(
+    rec_head: &[u8; 16],
+    swapped: bool,
+    resolution: TsResolution,
+) -> Result<(RecordHeader, u32)> {
+    let u32_at = |bytes: &[u8]| {
+        let raw = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+        if swapped {
+            raw.swap_bytes()
+        } else {
+            raw
+        }
+    };
+    let secs = u32_at(&rec_head[0..4]) as u64;
+    let subsec = u32_at(&rec_head[4..8]) as u64;
+    let caplen = u32_at(&rec_head[8..12]);
+    let orig_len = u32_at(&rec_head[12..16]);
+    if caplen > MAX_SANE_CAPLEN {
+        return Err(PacketError::ImplausibleCaptureLen(caplen));
+    }
+    let ts_ns = match resolution {
+        TsResolution::Micro => secs * 1_000_000_000 + subsec * 1_000,
+        TsResolution::Nano => secs * 1_000_000_000 + subsec,
+    };
+    Ok((RecordHeader { ts_ns, orig_len }, caplen))
 }
 
 impl<R: Read> Iterator for PcapReader<R> {
@@ -224,6 +263,74 @@ impl<R: Read> Iterator for PcapReader<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         self.next_record().transpose()
+    }
+}
+
+/// Zero-copy record cursor over an in-memory (or memory-mapped) capture.
+///
+/// Where [`PcapReader`] copies each record's bytes out of a stream,
+/// `PcapSlice` hands back sub-slices of the input buffer — record
+/// iteration allocates and copies nothing. This is what lets
+/// aggregation shard one capture across threads: every worker reads
+/// records straight out of the shared buffer.
+#[derive(Debug, Clone)]
+pub struct PcapSlice<'a> {
+    data: &'a [u8],
+    header: PcapHeader,
+    pos: usize,
+}
+
+impl<'a> PcapSlice<'a> {
+    /// Parse the global header and position the cursor at the first
+    /// record.
+    pub fn new(data: &'a [u8]) -> Result<Self> {
+        let mut prefix = data;
+        let reader = PcapReader::new(&mut prefix)?;
+        let header = reader.header();
+        Ok(PcapSlice {
+            data,
+            header,
+            pos: 24,
+        })
+    }
+
+    /// The parsed global header.
+    pub fn header(&self) -> PcapHeader {
+        self.header
+    }
+
+    /// Byte offset of the next unread record.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The next record's header and its captured bytes, borrowed from
+    /// the input; `Ok(None)` on clean end-of-input.
+    pub fn next_record(&mut self) -> Result<Option<(RecordHeader, &'a [u8])>> {
+        let remaining = &self.data[self.pos..];
+        if remaining.is_empty() {
+            return Ok(None);
+        }
+        let rec_head: &[u8; 16] = match remaining.get(..16).and_then(|h| h.try_into().ok()) {
+            Some(head) => head,
+            None => {
+                return Err(PacketError::Truncated {
+                    needed: 16,
+                    got: remaining.len(),
+                });
+            }
+        };
+        let (head, caplen) =
+            decode_record_header(rec_head, self.header.swapped, self.header.resolution)?;
+        let body = &remaining[16..];
+        if body.len() < caplen as usize {
+            // Same failure class the streaming reader reports for a
+            // record body cut short by end-of-file.
+            return Err(PacketError::Io("record body truncated".to_string()));
+        }
+        let data = &body[..caplen as usize];
+        self.pos += 16 + caplen as usize;
+        Ok(Some((head, data)))
     }
 }
 
@@ -391,6 +498,80 @@ mod tests {
             r.next_record().unwrap_err(),
             PacketError::ImplausibleCaptureLen(_)
         ));
+    }
+
+    #[test]
+    fn buffer_reusing_read_matches_allocating_read() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.write_record(1_000_000, 8, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        w.write_record(2_000_000, 100, &[9, 8]).unwrap(); // snapped record
+        w.write_record(3_000_000, 3, &[7, 7, 7]).unwrap();
+        w.finish().unwrap();
+
+        let mut alloc_reader = PcapReader::new(&buf[..]).unwrap();
+        let mut reuse_reader = PcapReader::new(&buf[..]).unwrap();
+        let mut scratch = Vec::new();
+        loop {
+            let a = alloc_reader.next_record().unwrap();
+            let b = reuse_reader.next_record_into(&mut scratch).unwrap();
+            match (a, b) {
+                (Some(rec), Some(head)) => {
+                    assert_eq!(rec.ts_ns, head.ts_ns);
+                    assert_eq!(rec.orig_len, head.orig_len);
+                    assert_eq!(&rec.data[..], &scratch[..]);
+                }
+                (None, None) => break,
+                (a, b) => panic!("readers disagree: {a:?} vs {b:?}"),
+            }
+        }
+        // The buffer grew once and was reused across records.
+        assert!(scratch.capacity() >= 8);
+    }
+
+    #[test]
+    fn slice_cursor_matches_streaming_reader() {
+        let mut buf = Vec::new();
+        let mut w =
+            PcapWriter::with_options(&mut buf, 101, TsResolution::Nano, 65535).unwrap();
+        w.write_record(1_234_567_890, 64, &[0xAB; 40]).unwrap();
+        w.write_record(2_000_000_001, 2, &[1, 2]).unwrap();
+        w.write_record(3_000_000_002, 0, &[]).unwrap();
+        w.finish().unwrap();
+
+        let mut stream = PcapReader::new(&buf[..]).unwrap();
+        let mut slice = PcapSlice::new(&buf[..]).unwrap();
+        assert_eq!(stream.header(), slice.header());
+        loop {
+            let a = stream.next_record().unwrap();
+            let b = slice.next_record().unwrap();
+            match (a, b) {
+                (Some(rec), Some((head, data))) => {
+                    assert_eq!(rec.ts_ns, head.ts_ns);
+                    assert_eq!(rec.orig_len, head.orig_len);
+                    assert_eq!(&rec.data[..], data);
+                }
+                (None, None) => break,
+                (a, b) => panic!("readers disagree: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(slice.position(), buf.len());
+    }
+
+    #[test]
+    fn slice_cursor_detects_truncation() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.write_record(0, 4, &[1, 2, 3, 4]).unwrap();
+        w.finish().unwrap();
+
+        let mut cut_header = PcapSlice::new(&buf[..buf.len() - 15]).unwrap();
+        assert!(matches!(
+            cut_header.next_record().unwrap_err(),
+            PacketError::Truncated { needed: 16, .. }
+        ));
+        let mut cut_body = PcapSlice::new(&buf[..buf.len() - 2]).unwrap();
+        assert!(matches!(cut_body.next_record().unwrap_err(), PacketError::Io(_)));
     }
 
     #[test]

@@ -184,15 +184,14 @@ pub fn run(matrix: &BandwidthMatrix, spec: SchemeSpec) -> ClassificationResult {
 /// Run several configurations in parallel over (possibly different)
 /// matrices, preserving input order.
 pub fn run_many(jobs: &[(&BandwidthMatrix, SchemeSpec)]) -> Vec<ClassificationResult> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = jobs
             .iter()
-            .map(|(m, spec)| s.spawn(move |_| run(m, *spec)))
+            .map(|(m, spec)| s.spawn(move || run(m, *spec)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("classification does not panic"))
             .collect()
     })
-    .expect("crossbeam scope")
 }
