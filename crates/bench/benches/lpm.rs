@@ -66,6 +66,36 @@ fn bench_lookup(c: &mut Criterion) {
             hits
         })
     });
+    // The attribution hot path materializes an id per address (the
+    // aggregator's route array), so the batch API's fair baseline is a
+    // per-address loop writing the same output array.
+    group.bench_function("flat_id_loop_into", |b| {
+        let mut out = vec![None; queries.len()];
+        b.iter(|| {
+            for (o, &q) in out.iter_mut().zip(&queries) {
+                *o = flat.lookup_id(black_box(q));
+            }
+            out.iter().map(|o| usize::from(o.is_some())).sum::<usize>()
+        })
+    });
+    // The batched form the chunked aggregation hot path uses: identical
+    // results to the flat_id_loop_into loop above, but the masked
+    // re-slice elides the per-lane stage-1 bounds check and the loop
+    // body carries no per-call overhead.
+    group.bench_function("flat_id_batched", |b| {
+        let mut out = vec![None; queries.len()];
+        b.iter(|| {
+            flat.lookup_many(black_box(&queries), &mut out);
+            out.iter().map(|o| usize::from(o.is_some())).sum::<usize>()
+        })
+    });
+    group.bench_function("flat_id_batched_raw", |b| {
+        let mut out = vec![0u32; queries.len()];
+        b.iter(|| {
+            flat.lookup_many_raw(black_box(&queries), &mut out);
+            out.iter().map(|&o| usize::from(o != 0)).sum::<usize>()
+        })
+    });
 
     let mut trie = TrieLpm::new();
     for (p, v) in &entries {

@@ -96,10 +96,11 @@ fn bench_pcap_io(c: &mut Criterion) {
     group.finish();
 }
 
-/// End-to-end serial vs sharded aggregation on a larger capture: the
-/// bytes/sec each path sustains is the headline packets-per-second
-/// number of the whole pipeline.
-fn bench_aggregate_parallel(c: &mut Criterion) {
+/// The large-capture workload of the parallel-aggregation benches: a
+/// 20k-prefix RIB and a ~400k-packet capture. (The attribution bench
+/// below deliberately uses a different, whole-address-space destination
+/// spread instead of this trace's few hundred flows.)
+fn parallel_workload() -> (eleph_bgp::BgpTable, RateTrace, Vec<u8>, usize) {
     let table = bench_table(20_000);
     let config = WorkloadConfig {
         n_flows: 400,
@@ -120,6 +121,70 @@ fn bench_aggregate_parallel(c: &mut Criterion) {
         let reader = PcapReader::new(&pcap[..]).expect("header");
         reader.count()
     };
+    (table, trace, pcap, n_packets)
+}
+
+/// Single-packet vs chunked attribution on pre-parsed metadata: isolates
+/// the win of batching the LPM lookups from pcap decode costs.
+///
+/// Destinations are drawn uniformly from the whole address space (like
+/// the LPM micro-bench) rather than from the synthetic trace's small
+/// flow population: a backbone link disperses packets across the entire
+/// RIB, so per-packet attribution misses cache. That cold case is what
+/// the chunked path exists for — with a few hundred hot flows both
+/// forms are equally table-cache-resident and tie.
+fn bench_attribution_chunked(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let table = bench_table(20_000);
+    let frozen = table.freeze();
+    let mut rng = StdRng::seed_from_u64(11);
+    let n_packets = 400_000usize;
+    let interval_secs = 20u64;
+    let n_intervals = 3usize;
+    let metas: Vec<eleph_packet::PacketMeta> = (0..n_packets)
+        .map(|i| eleph_packet::PacketMeta {
+            ts_ns: (i as u64 * interval_secs * n_intervals as u64 * 1_000_000_000)
+                / n_packets as u64,
+            src: std::net::Ipv4Addr::from(rng.gen::<u32>()),
+            dst: std::net::Ipv4Addr::from(rng.gen::<u32>()),
+            proto: eleph_packet::IpProtocol::Udp,
+            src_port: 9,
+            dst_port: 53,
+            wire_len: 40 + (i % 1400) as u32,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("attribution");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(metas.len() as u64));
+    group.bench_function(format!("observe_single_{n_packets}pkts"), |b| {
+        b.iter(|| {
+            let mut agg =
+                eleph_flow::Aggregator::with_frozen(&frozen, interval_secs, 0, n_intervals);
+            for m in black_box(&metas) {
+                agg.observe(m);
+            }
+            agg.stats().attributed
+        })
+    });
+    group.bench_function(format!("observe_chunked_{n_packets}pkts"), |b| {
+        b.iter(|| {
+            let mut agg =
+                eleph_flow::Aggregator::with_frozen(&frozen, interval_secs, 0, n_intervals);
+            agg.observe_chunk(black_box(&metas));
+            agg.stats().attributed
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end serial vs sharded aggregation on a larger capture: the
+/// bytes/sec each path sustains is the headline packets-per-second
+/// number of the whole pipeline.
+fn bench_aggregate_parallel(c: &mut Criterion) {
+    let (table, trace, pcap, n_packets) = parallel_workload();
 
     let mut group = c.benchmark_group("aggregate_pcap");
     group.sample_size(10);
@@ -172,5 +237,11 @@ fn bench_aggregate_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_packet_build_parse, bench_pcap_io, bench_aggregate_parallel);
+criterion_group!(
+    benches,
+    bench_packet_build_parse,
+    bench_pcap_io,
+    bench_attribution_chunked,
+    bench_aggregate_parallel
+);
 criterion_main!(benches);

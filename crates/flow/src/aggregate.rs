@@ -7,7 +7,11 @@
 //! * attribution goes through a [`FrozenBgpTable`] (flat-array LPM,
 //!   O(1), ≤ 2 dependent memory reads) and yields a dense
 //!   [`eleph_bgp::RouteId`] — no trie pointer chase, no `Prefix → id`
-//!   hash lookup;
+//!   hash lookup; the pcap drivers decode records into 64-packet
+//!   chunks and resolve them through the *batched*
+//!   [`FrozenBgpTable::attribute_ids`], so the table's cache misses
+//!   overlap across the chunk instead of costing one dependent miss
+//!   per packet ([`Aggregator::observe_chunk`]);
 //! * per-interval byte counts accumulate into plain `Vec<u64>` rows
 //!   indexed by [`KeyId`] (dense, first-seen order), so the per-packet
 //!   work is two array index operations and one add;
@@ -32,6 +36,13 @@ use crate::{BandwidthMatrix, KeyId};
 
 /// Sentinel for "route not yet assigned a key".
 const NO_KEY: KeyId = KeyId::MAX;
+
+/// Packets attributed per batched-lookup call on the chunked paths.
+///
+/// Large enough that the flat table's stage-1 cache misses overlap
+/// across the whole out-of-order window, small enough that the
+/// destination/route scratch arrays live on the stack.
+const ATTRIBUTION_CHUNK: usize = 64;
 
 /// Accounting for every packet offered to an [`Aggregator`].
 ///
@@ -158,14 +169,23 @@ impl<'t> Aggregator<'t> {
         n_intervals: usize,
     ) -> Self {
         assert!(interval_secs > 0, "interval must be positive");
+        // Reject configurations whose nanosecond bounds do not fit u64
+        // up front: a silent wraparound here would mis-bin every packet
+        // of the run (the hot path deliberately trusts these bounds).
+        let start_ns = start_unix
+            .checked_mul(1_000_000_000)
+            .expect("start_unix too large: nanoseconds since the epoch overflow u64");
+        let interval_ns = interval_secs
+            .checked_mul(1_000_000_000)
+            .expect("interval_secs too large: interval length in nanoseconds overflows u64");
         let n_routes = table.get().len();
         Aggregator {
             table,
             interval_secs,
             start_unix,
             n_intervals,
-            start_ns: start_unix * 1_000_000_000,
-            interval_ns: interval_secs * 1_000_000_000,
+            start_ns,
+            interval_ns,
             rows: vec![Vec::new(); n_intervals],
             key_routes: Vec::new(),
             key_first: Vec::new(),
@@ -183,22 +203,99 @@ impl<'t> Aggregator<'t> {
         self.observe_at(meta, position);
     }
 
+    /// Observe a slice of parsed packets, batching the attribution
+    /// lookups.
+    ///
+    /// Behaves exactly like calling [`Aggregator::observe`] on each
+    /// packet in order — same statistics, same first-seen key order —
+    /// but resolves destinations through the frozen table's batch API
+    /// ([`eleph_bgp::FrozenBgpTable::attribute_ids`]) in chunks of 64,
+    /// so attribution cache misses overlap across packets instead of
+    /// serialising. This is the form the pcap drivers feed.
+    pub fn observe_chunk(&mut self, metas: &[PacketMeta]) {
+        let mut positions = [0u64; ATTRIBUTION_CHUNK];
+        for chunk in metas.chunks(ATTRIBUTION_CHUNK) {
+            // For a serial aggregator the offered count is the stream
+            // position of the chunk's first packet.
+            let base = self.stats.offered;
+            for (i, p) in positions[..chunk.len()].iter_mut().enumerate() {
+                *p = base + i as u64;
+            }
+            self.observe_chunk_at(chunk, &positions[..chunk.len()]);
+        }
+    }
+
+    /// [`Aggregator::observe_chunk`] with explicit stream positions,
+    /// used by shard workers whose packets are a non-contiguous subset
+    /// of the stream. `metas` and `positions` run in parallel and hold
+    /// at most [`ATTRIBUTION_CHUNK`] packets (callers chunk).
+    fn observe_chunk_at(&mut self, metas: &[PacketMeta], positions: &[u64]) {
+        debug_assert_eq!(metas.len(), positions.len());
+        let n = metas.len();
+        let mut dsts = [0u32; ATTRIBUTION_CHUNK];
+        let mut routes: [Option<RouteId>; ATTRIBUTION_CHUNK] = [None; ATTRIBUTION_CHUNK];
+        for (d, m) in dsts[..n].iter_mut().zip(metas) {
+            *d = u32::from(m.dst);
+        }
+        // Batched attribution: every packet's lookup issues before any
+        // packet's result is consumed. Out-of-window packets are
+        // attributed too — their result is simply never read, so the
+        // reject accounting below is unchanged.
+        self.table.get().attribute_ids(&dsts[..n], &mut routes[..n]);
+        for ((meta, &route), &position) in metas.iter().zip(routes[..n].iter()).zip(positions) {
+            self.apply(meta, route, position);
+        }
+    }
+
     /// [`Aggregator::observe`] with an explicit stream position, used
     /// by shard workers whose packets are a non-contiguous subset of
-    /// the stream.
+    /// the stream. Unlike the batched path, the lookup runs only for
+    /// in-window packets — a rejected packet costs no table access.
     #[inline]
     fn observe_at(&mut self, meta: &PacketMeta, position: u64) {
         self.stats.offered += 1;
-        if meta.ts_ns < self.start_ns {
+        let Some(interval) = self.interval_of(meta.ts_ns) else {
             self.stats.out_of_window += 1;
             return;
-        }
-        let interval = ((meta.ts_ns - self.start_ns) / self.interval_ns) as usize;
-        if interval >= self.n_intervals {
+        };
+        let route = self.table.get().attribute_id(u32::from(meta.dst));
+        self.bin(meta, route, interval, position);
+    }
+
+    /// Account one packet whose attribution has already been resolved:
+    /// the batched path's tail. The check order (window before
+    /// routability) fixes which reject bucket a doubly-bad packet lands
+    /// in; both observe paths agree on it, keeping parallel output
+    /// byte-identical to serial.
+    #[inline]
+    fn apply(&mut self, meta: &PacketMeta, route: Option<RouteId>, position: u64) {
+        self.stats.offered += 1;
+        let Some(interval) = self.interval_of(meta.ts_ns) else {
             self.stats.out_of_window += 1;
             return;
+        };
+        self.bin(meta, route, interval, position);
+    }
+
+    /// The interval containing `ts_ns`, if inside the configured window.
+    #[inline]
+    fn interval_of(&self, ts_ns: u64) -> Option<usize> {
+        if ts_ns < self.start_ns {
+            return None;
         }
-        let Some(route) = self.table.get().attribute_id(u32::from(meta.dst)) else {
+        let interval = (ts_ns - self.start_ns) / self.interval_ns;
+        if interval < self.n_intervals as u64 {
+            Some(interval as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Bin one in-window packet under its route (or count it
+    /// unroutable): the shared tail of both observe paths.
+    #[inline]
+    fn bin(&mut self, meta: &PacketMeta, route: Option<RouteId>, interval: usize, position: u64) {
+        let Some(route) = route else {
             self.stats.unroutable += 1;
             return;
         };
@@ -258,6 +355,44 @@ impl<'t> Aggregator<'t> {
     }
 }
 
+/// Reusable decode buffer feeding [`Aggregator::observe_chunk_at`].
+///
+/// Shared by the serial pcap loop and the parallel shard workers so
+/// their buffer/flush behaviour cannot diverge — the byte-identical
+/// parallel output depends on both paths accounting stream positions
+/// the same way.
+struct ChunkBuffer {
+    metas: Vec<PacketMeta>,
+    positions: Vec<u64>,
+}
+
+impl ChunkBuffer {
+    fn new() -> Self {
+        ChunkBuffer {
+            metas: Vec::with_capacity(ATTRIBUTION_CHUNK),
+            positions: Vec::with_capacity(ATTRIBUTION_CHUNK),
+        }
+    }
+
+    /// Buffer one parsed packet at its stream position, flushing to
+    /// `agg` whenever a full attribution chunk has accumulated.
+    #[inline]
+    fn push(&mut self, agg: &mut Aggregator<'_>, meta: PacketMeta, position: u64) {
+        self.metas.push(meta);
+        self.positions.push(position);
+        if self.metas.len() == ATTRIBUTION_CHUNK {
+            self.flush(agg);
+        }
+    }
+
+    /// Flush buffered packets (if any) to `agg`.
+    fn flush(&mut self, agg: &mut Aggregator<'_>) {
+        agg.observe_chunk_at(&self.metas, &self.positions);
+        self.metas.clear();
+        self.positions.clear();
+    }
+}
+
 /// One shard's accumulation state, ready for merging.
 struct ShardParts {
     key_routes: Vec<RouteId>,
@@ -304,15 +439,22 @@ pub fn aggregate_pcap<R: Read>(
     let link = LinkType::from_code(reader.header().linktype)?;
     let mut agg = Aggregator::new(table, interval_secs, start_unix, n_intervals);
     let mut buf = Vec::new();
+    // Decode into meta chunks and batch-attribute them. Stream
+    // positions count every record (including malformed ones, which are
+    // rejected immediately), exactly as the one-at-a-time path did.
+    let mut chunk = ChunkBuffer::new();
+    let mut position: u64 = 0;
     while let Some(head) = reader.next_record_into(&mut buf)? {
         match parse_buf_meta(link, &buf, &head) {
-            Ok(meta) => agg.observe(&meta),
+            Ok(meta) => chunk.push(&mut agg, meta, position),
             Err(_) => {
                 agg.stats.offered += 1;
                 agg.stats.malformed += 1;
             }
         }
+        position += 1;
     }
+    chunk.flush(&mut agg);
     Ok(agg.finish())
 }
 
@@ -445,21 +587,27 @@ fn aggregate_parallel_impl(
                                 start_unix,
                                 n_intervals,
                             );
+                            let mut chunk = ChunkBuffer::new();
                             loop {
                                 // Hold the lock only to pull a batch.
                                 let batch = rx.lock().expect("receiver lock").recv();
                                 let Ok((start, records)) = batch else {
                                     break; // scanner done and channel drained
                                 };
+                                // Decode into meta chunks and batch-attribute,
+                                // flushing at the batch boundary.
                                 for (i, (head, data)) in records.iter().enumerate() {
                                     match parse_buf_meta(link, data, head) {
-                                        Ok(meta) => agg.observe_at(&meta, start + i as u64),
+                                        Ok(meta) => {
+                                            chunk.push(&mut agg, meta, start + i as u64)
+                                        }
                                         Err(_) => {
                                             agg.stats.offered += 1;
                                             agg.stats.malformed += 1;
                                         }
                                     }
                                 }
+                                chunk.flush(&mut agg);
                             }
                             agg.into_parts()
                         })
@@ -473,24 +621,21 @@ fn aggregate_parallel_impl(
             (frozen_owned, shards)
         });
 
-        // Scanner: batch up record slices. A structural error aborts
-        // the scan (as in the serial path); already-sent batches are
-        // drained by the workers and discarded with the error below.
+        // Scanner: batch up record slices with the two-cursor
+        // scan-ahead walk ([`PcapSlice::next_batch`]), which keeps the
+        // dependent header chain out of cold memory. A structural error
+        // aborts the scan (as in the serial path); already-sent batches
+        // are drained by the workers and discarded with the error below.
         let scan = (|| -> eleph_packet::Result<()> {
             let mut position: u64 = 0;
-            let mut batch: Vec<(RecordHeader, &[u8])> = Vec::with_capacity(PARALLEL_BATCH);
-            let mut batch_start: u64 = 0;
-            while let Some(rec) = cursor.next_record()? {
-                batch.push(rec);
-                position += 1;
-                if batch.len() == PARALLEL_BATCH {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(PARALLEL_BATCH));
-                    let _ = tx.send((batch_start, full));
-                    batch_start = position;
+            loop {
+                let mut batch: Vec<(RecordHeader, &[u8])> = Vec::with_capacity(PARALLEL_BATCH);
+                let n = cursor.next_batch(PARALLEL_BATCH, &mut batch)?;
+                if n == 0 {
+                    break;
                 }
-            }
-            if !batch.is_empty() {
-                let _ = tx.send((batch_start, batch));
+                let _ = tx.send((position, batch));
+                position += n as u64;
             }
             Ok(())
         })();
@@ -806,5 +951,74 @@ mod tests {
     fn zero_interval_rejected() {
         let t = table();
         let _ = Aggregator::new(&t, 0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "start_unix too large")]
+    fn overflowing_start_rejected() {
+        // Regression: `start_unix * 1_000_000_000` used to wrap silently
+        // in release builds, mis-binning every packet.
+        let t = table();
+        let _ = Aggregator::new(&t, 10, u64::MAX / 1_000_000_000 + 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval_secs too large")]
+    fn overflowing_interval_rejected() {
+        let t = table();
+        let _ = Aggregator::new(&t, u64::MAX / 1_000_000_000 + 1, 0, 1);
+    }
+
+    #[test]
+    fn largest_valid_start_accepted() {
+        let t = table();
+        let start = u64::MAX / 1_000_000_000; // largest second count whose ns fit u64
+        let mut agg = Aggregator::new(&t, 1, start, 1);
+        agg.observe(&meta([10, 0, 0, 1], start, 100));
+        let (_, stats) = agg.finish();
+        assert_eq!(stats.attributed, 1);
+    }
+
+    #[test]
+    fn chunked_observe_matches_single_observe() {
+        let t = table();
+        // A stream mixing both prefixes, unroutable destinations and
+        // out-of-window timestamps, across chunk-size boundaries.
+        let metas: Vec<PacketMeta> = (0..200u64)
+            .map(|i| {
+                let dst = match i % 5 {
+                    0 => [10, 1, 0, (i % 256) as u8],
+                    4 => [192, 0, 2, 1], // unroutable
+                    _ => [10, 2, 0, (i % 256) as u8],
+                };
+                let ts = if i % 17 == 0 { 5000 } else { 1000 + i / 8 }; // some out-of-window
+                meta(dst, ts, 40 + (i % 1000) as u32)
+            })
+            .collect();
+
+        let mut single = Aggregator::new(&t, 10, 1000, 3);
+        for m in &metas {
+            single.observe(m);
+        }
+        let frozen = t.freeze();
+        for chunk_size in [1usize, 3, 63, 64, 65, 200] {
+            let mut chunked = Aggregator::with_frozen(&frozen, 10, 1000, 3);
+            for c in metas.chunks(chunk_size) {
+                chunked.observe_chunk(c);
+            }
+            assert_eq!(chunked.stats(), single.stats(), "chunk size {chunk_size}");
+        }
+        let (sm, ss) = single.finish();
+        let mut chunked = Aggregator::with_frozen(&frozen, 10, 1000, 3);
+        chunked.observe_chunk(&metas);
+        let (cm, cs) = chunked.finish();
+        assert_eq!(ss, cs);
+        assert_eq!(sm.n_keys(), cm.n_keys());
+        for k in 0..sm.n_keys() as KeyId {
+            assert_eq!(sm.key(k), cm.key(k), "key order diverges at {k}");
+        }
+        for n in 0..sm.n_intervals() {
+            assert_eq!(sm.interval(n), cm.interval(n), "interval {n} diverges");
+        }
     }
 }

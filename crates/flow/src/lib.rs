@@ -16,10 +16,18 @@
 //!   accounting ([`AggregatorStats`]): malformed, unroutable and
 //!   out-of-window packets are counted, never silently dropped. The hot
 //!   path is allocation- and hash-free: frozen flat-array attribution
-//!   (`eleph_bgp::FrozenBgpTable`) into dense per-interval byte rows;
-//! * [`aggregate_pcap`] — drive an [`Aggregator`] from a capture file;
+//!   (`eleph_bgp::FrozenBgpTable`) into dense per-interval byte rows.
+//!   Feed it packet *chunks* via [`Aggregator::observe_chunk`] where
+//!   possible — attribution then goes through the frozen table's batch
+//!   lookup, which overlaps lookup cache misses across the chunk
+//!   (single-packet [`Aggregator::observe`] pays one dependent miss per
+//!   packet); both forms produce identical output;
+//! * [`aggregate_pcap`] — drive an [`Aggregator`] from a capture file
+//!   (chunked decode + batched attribution internally);
 //! * [`aggregate_pcap_parallel`] — the sharded multi-thread form, with
-//!   output byte-identical to the serial path;
+//!   output byte-identical to the serial path; its record scan uses the
+//!   two-cursor scan-ahead walk (`eleph_packet::pcap::PcapSlice::next_batch`)
+//!   so shard splitting is not memory-latency-bound;
 //! * [`busiest_window`] — locate the paper's "five hour busy period".
 
 #![forbid(unsafe_code)]

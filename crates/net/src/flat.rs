@@ -20,9 +20,10 @@ const SPILL_BIT: u32 = 1 << 31;
 /// Access Speeds"), the layout hardware and kernel fast paths use.
 ///
 /// Stage 1 is a direct-indexed array over the top 24 address bits
-/// (2²⁴ × 4 B = 64 MiB); prefixes longer than /24 spill into per-/24
-/// blocks of 256 slots indexed by the last octet. Every lookup is
-/// therefore **O(1) with at most two dependent memory reads**, versus
+/// (2²⁴ × 4 B = 64 MiB; an *empty* table instead keeps a single masked
+/// slot, so freezing it costs nothing); prefixes longer than /24 spill
+/// into per-/24 blocks of 256 slots indexed by the last octet. Every
+/// lookup is therefore **O(1) with at most two dependent memory reads**, versus
 /// the pointer chase of a trie — on a backbone RIB this is roughly an
 /// order of magnitude faster per lookup (see `crates/bench/benches/lpm.rs`).
 ///
@@ -34,14 +35,84 @@ const SPILL_BIT: u32 = 1 << 31;
 /// resolver for downstream accounting.
 #[derive(Clone)]
 pub struct FlatLpm<V> {
-    /// Direct index over `addr >> 8`.
+    /// Direct index over `(addr >> 8) & stage1_mask`.
     stage1: Vec<u32>,
+    /// Index mask for `stage1`: `2²⁴ − 1` for a populated table, `0` for
+    /// an empty one (whose stage 1 is a single always-[`EMPTY`] slot).
+    /// Masking keeps [`FlatLpm::lookup_id`] branch-free while letting
+    /// the empty table skip the 64 MiB stage-1 allocation.
+    stage1_mask: usize,
     /// 256-slot blocks for /24s containing longer-than-/24 prefixes.
     spill: Vec<u32>,
     /// Prefixes in ascending (RIB-dump) order; parallel to `values`.
     prefixes: Vec<Prefix>,
     /// Route values, dense, parallel to `prefixes`.
     values: Vec<V>,
+}
+
+/// One table resolve against a pre-sliced stage 1 (`stage1.len() ==
+/// mask + 1`, so the index's bounds check folds away): the shared body
+/// of the batch loops, kept identical to [`FlatLpm::lookup_id`] so both
+/// paths optimize the same way.
+#[inline(always)]
+fn resolve_raw(stage1: &[u32], spill: &[u32], mask: usize, addr: u32) -> u32 {
+    let slot = stage1[(addr >> 8) as usize & mask];
+    if slot & SPILL_BIT == 0 {
+        slot
+    } else {
+        spill[(((slot & !SPILL_BIT) as usize) << 8) + (addr & 0xFF) as usize]
+    }
+}
+
+/// [`resolve_raw`] decoded to the public id form.
+#[inline(always)]
+fn resolve(stage1: &[u32], spill: &[u32], mask: usize, addr: u32) -> Option<u32> {
+    let resolved = resolve_raw(stage1, spill, mask, addr);
+    if resolved == EMPTY {
+        None
+    } else {
+        Some(resolved - 1)
+    }
+}
+
+/// Number of stage-1 loads issued ahead of the resolving pass in
+/// [`FlatLpm::lookup_many_raw`] when the `prefetch` feature is enabled.
+#[cfg(feature = "prefetch")]
+const PREFETCH_DISTANCE: usize = 8;
+
+/// From batch position `i`, request the stage-1 line
+/// [`PREFETCH_DISTANCE`] lanes ahead; a no-op (and dead `i`) without
+/// the `prefetch` feature, so the batch loops stay single-bodied.
+#[cfg(feature = "prefetch")]
+#[inline(always)]
+fn prefetch_ahead(stage1: &[u32], mask: usize, addrs: &[u32], i: usize) {
+    if let Some(&ahead) = addrs.get(i + PREFETCH_DISTANCE) {
+        prefetch_read(&raw const stage1[(ahead >> 8) as usize & mask]);
+    }
+}
+
+#[cfg(not(feature = "prefetch"))]
+#[inline(always)]
+fn prefetch_ahead(_stage1: &[u32], _mask: usize, _addrs: &[u32], _i: usize) {}
+
+/// Request a best-effort cache load of `*ptr` without blocking.
+///
+/// Only compiled under the `prefetch` feature; the instruction never
+/// faults, so the pointer may dangle (e.g. one-past-the-end). On
+/// architectures without a stable prefetch intrinsic this is a no-op
+/// and the hardware prefetchers are left to it.
+#[cfg(feature = "prefetch")]
+#[inline(always)]
+#[allow(unsafe_code)]
+fn prefetch_read(ptr: *const u32) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it performs no dereference the memory
+    // model can observe and is architecturally defined never to fault.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
 }
 
 impl<V> FlatLpm<V> {
@@ -59,6 +130,20 @@ impl<V> FlatLpm<V> {
         for (p, v) in dedup {
             prefixes.push(p);
             values.push(v);
+        }
+
+        // An empty table gets a single permanently-EMPTY stage-1 slot
+        // (reached through `stage1_mask == 0`) instead of the 64 MiB
+        // array: freezing empty tables is common in tests and start-up
+        // paths and must stay cheap.
+        if prefixes.is_empty() {
+            return FlatLpm {
+                stage1: vec![EMPTY; 1],
+                stage1_mask: 0,
+                spill: Vec::new(),
+                prefixes,
+                values,
+            };
         }
 
         let mut stage1 = vec![EMPTY; 1 << 24];
@@ -100,6 +185,7 @@ impl<V> FlatLpm<V> {
 
         FlatLpm {
             stage1,
+            stage1_mask: (1 << 24) - 1,
             spill,
             prefixes,
             values,
@@ -123,7 +209,7 @@ impl<V> FlatLpm<V> {
     /// attribution primitive the packet hot path uses.
     #[inline]
     pub fn lookup_id(&self, addr: u32) -> Option<u32> {
-        let slot = self.stage1[(addr >> 8) as usize];
+        let slot = self.stage1[(addr >> 8) as usize & self.stage1_mask];
         let resolved = if slot & SPILL_BIT == 0 {
             slot
         } else {
@@ -134,6 +220,73 @@ impl<V> FlatLpm<V> {
             None
         } else {
             Some(resolved - 1)
+        }
+    }
+
+    /// Batched [`FlatLpm::lookup_id`]: resolve every address in `addrs`
+    /// into the matching slot of `out` (`None` = no matching prefix).
+    ///
+    /// Compared with calling [`FlatLpm::lookup_id`] in a loop, the
+    /// batched form keeps the whole resolve loop free of per-call
+    /// overhead: the stage-1 bounds check is hoisted out via the masked
+    /// re-slice (the compiler proves `index ≤ mask < len`), no lane
+    /// consumes another lane's result (so stage-1 cache misses overlap
+    /// across the out-of-order window instead of serialising against
+    /// surrounding per-packet control flow), and the hit/miss decision
+    /// is shared with [`FlatLpm::lookup_id`]. With the `prefetch` cargo
+    /// feature each iteration additionally issues an explicit prefetch
+    /// for the stage-1 line a few lanes ahead. On a pure lookup
+    /// micro-bench the per-address loop is already memory-parallelism
+    /// bound and the two tie (`crates/bench/benches/lpm.rs`); embedded
+    /// in per-packet work the batch form pulls ahead — see the
+    /// `attribution` group of `crates/bench/benches/packets.rs`.
+    ///
+    /// # Panics
+    /// If `addrs` and `out` differ in length.
+    pub fn lookup_many(&self, addrs: &[u32], out: &mut [Option<u32>]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_many: addrs and out must have equal lengths"
+        );
+        // `stage1.len() == stage1_mask + 1` by construction; re-slicing
+        // here lets the compiler see it, eliding the per-lane bounds
+        // check the single-address path pays.
+        let mask = self.stage1_mask;
+        let stage1 = &self.stage1[..mask + 1];
+        for (i, (o, &addr)) in out.iter_mut().zip(addrs).enumerate() {
+            prefetch_ahead(stage1, mask, addrs, i);
+            *o = resolve(stage1, &self.spill, mask, addr);
+        }
+    }
+
+    /// The ids-only core of [`FlatLpm::lookup_many`]: writes the dense
+    /// id **plus one** per address, with `0` meaning "no match" — the
+    /// same encoding the table stores internally, so the inner loops
+    /// stay branch-free. Use this form when the caller keeps a reusable
+    /// `u32` buffer and wants the cheapest possible batch resolve;
+    /// [`FlatLpm::lookup_many`] is the `Option`-decoded convenience.
+    ///
+    /// # Panics
+    /// If `addrs` and `out` differ in length.
+    pub fn lookup_many_raw(&self, addrs: &[u32], out: &mut [u32]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_many_raw: addrs and out must have equal lengths"
+        );
+        let mask = self.stage1_mask;
+        let stage1 = &self.stage1[..mask + 1];
+        // One fused loop with no lane-to-lane dependency: every stage-1
+        // load can issue before any earlier lane resolves, so the
+        // out-of-order window overlaps the misses; the masked re-slice
+        // above elides the per-lane bounds check, and the spill hop is
+        // rare and well-predicted. With the `prefetch` feature each
+        // iteration additionally requests the stage-1 line
+        // [`PREFETCH_DISTANCE`] lanes ahead.
+        for (i, (o, &addr)) in out.iter_mut().zip(addrs).enumerate() {
+            prefetch_ahead(stage1, mask, addrs, i);
+            *o = resolve_raw(stage1, &self.spill, mask, addr);
         }
     }
 
@@ -258,6 +411,75 @@ mod tests {
         assert_eq!(t.lookup(u32::MAX), None);
         assert_eq!(t.lookup_id(12345), None);
         assert_eq!(t.spill_blocks(), 0);
+    }
+
+    #[test]
+    fn empty_table_does_not_allocate_stage1() {
+        // Regression: freezing an empty table used to allocate the full
+        // 64 MiB stage-1 array.
+        let t: FlatLpm<u32> = FlatLpm::from_entries(Vec::new());
+        assert!(
+            t.table_bytes() < 64,
+            "empty table holds {} bytes of lookup tables",
+            t.table_bytes()
+        );
+        // And lookups on the tiny representation stay correct.
+        for addr in [0u32, 1, 0x0A01_0203, u32::MAX] {
+            assert_eq!(t.lookup_id(addr), None);
+            assert_eq!(t.lookup(addr), None);
+        }
+        let mut out = [Some(7u32); 3];
+        t.lookup_many(&[0, 0x0A01_0203, u32::MAX], &mut out);
+        assert_eq!(out, [None, None, None]);
+    }
+
+    #[test]
+    fn populated_table_keeps_full_stage1() {
+        let t = FlatLpm::from_entries(vec![(p("10.0.0.0/8"), ())]);
+        assert_eq!(t.table_bytes(), (1usize << 24) * 4);
+    }
+
+    #[test]
+    fn lookup_many_matches_lookup_id() {
+        let t = FlatLpm::from_entries(vec![
+            (p("0.0.0.0/0"), 0u32),
+            (p("10.0.0.0/8"), 1),
+            (p("10.1.2.0/24"), 2),
+            (p("10.1.2.128/25"), 3),
+            (p("203.0.113.64/30"), 4),
+        ]);
+        let addrs: Vec<u32> = (0..512u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0x0A01_0200)
+            .chain([0, u32::MAX, 0x0A01_0280, 0xCB00_7141])
+            .collect();
+        let mut out = vec![None; addrs.len()];
+        t.lookup_many(&addrs, &mut out);
+        let mut raw = vec![0u32; addrs.len()];
+        t.lookup_many_raw(&addrs, &mut raw);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let want = t.lookup_id(addr);
+            assert_eq!(out[i], want, "addr {addr:#010x}");
+            assert_eq!(raw[i], want.map_or(0, |id| id + 1), "raw addr {addr:#010x}");
+        }
+    }
+
+    #[test]
+    fn lookup_many_handles_odd_batch_sizes() {
+        let t = FlatLpm::from_entries(vec![(p("10.0.0.0/8"), ())]);
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let addrs: Vec<u32> = (0..n as u32).map(|i| 0x0A00_0000 | i).collect();
+            let mut out = vec![None; n];
+            t.lookup_many(&addrs, &mut out);
+            assert!(out.iter().all(|o| *o == Some(0)), "batch of {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn lookup_many_rejects_mismatched_lengths() {
+        let t = FlatLpm::from_entries(vec![(p("10.0.0.0/8"), ())]);
+        let mut out = [None; 2];
+        t.lookup_many(&[1, 2, 3], &mut out);
     }
 
     #[test]

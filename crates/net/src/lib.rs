@@ -43,6 +43,29 @@
 //! allocation-free accounting keys (`eleph_bgp::FrozenBgpTable`,
 //! `eleph_flow::Aggregator`).
 //!
+//! ## Single vs batched lookups
+//!
+//! [`FlatLpm::lookup_id`] is the right call when addresses arrive one
+//! at a time (interactive queries, route churn validation). When the
+//! caller already holds a *batch* of addresses — the packet pipeline
+//! decodes capture records in chunks — use
+//! [`FlatLpm::lookup_many`] (or the raw-encoded
+//! [`FlatLpm::lookup_many_raw`]): its resolve loop carries no per-call
+//! overhead and no lane-to-lane dependency, so the stage-1 cache misses
+//! of different addresses overlap instead of serialising against the
+//! caller's surrounding control flow. On a pure lookup micro-bench the
+//! per-address loop is already memory-parallelism-bound and the two tie
+//! (`crates/bench/benches/lpm.rs`); the batch form wins where it is
+//! embedded in real per-packet work — the flow aggregator's chunked
+//! attribution runs ~15–20% faster end-to-end on cache-cold
+//! destinations (`attribution` bench group). It is what
+//! `eleph_bgp::FrozenBgpTable::attribute_ids` and the flow aggregator's
+//! chunked hot path build on. Enabling the crate's `prefetch` cargo
+//! feature adds explicit software prefetch (x86-64 `prefetcht0`) a few
+//! lanes ahead inside the batch loop; the feature is off by default
+//! because it needs one `unsafe` intrinsic call and only pays off when
+//! the table misses cache.
+//!
 //! # Example
 //!
 //! ```
@@ -57,7 +80,11 @@
 //! assert_eq!(*val, "fine");
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the feature-gated prefetch intrinsic
+// in `flat.rs` (architecturally a no-op hint); everything else stays
+// forbidden either way.
+#![cfg_attr(not(feature = "prefetch"), forbid(unsafe_code))]
+#![cfg_attr(feature = "prefetch", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod compressed;

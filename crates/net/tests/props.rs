@@ -205,4 +205,37 @@ proptest! {
             prop_assert_eq!(flat.prefix(id), *p);
         }
     }
+
+    #[test]
+    fn lookup_many_matches_per_address_lookup_id(entries in arb_table(), queries in prop::collection::vec(any::<u32>(), 0..192)) {
+        // The generator covers empty tables, default routes (len 0) and
+        // >/24 (spilled) prefixes; the batch APIs must agree with the
+        // per-address resolver on all of them, at every batch size that
+        // straddles the internal 64-lane chunking.
+        let flat = FlatLpm::from_entries(entries.iter().copied());
+        // Guaranteed-hit probes (network + last address of each entry)
+        // mixed into the random queries.
+        let addrs: Vec<u32> = queries
+            .iter()
+            .copied()
+            .chain(entries.iter().flat_map(|(p, _)| [p.bits(), u32::from(p.last_addr())]))
+            .collect();
+        let mut out = vec![None; addrs.len()];
+        flat.lookup_many(&addrs, &mut out);
+        let mut raw = vec![0u32; addrs.len()];
+        flat.lookup_many_raw(&addrs, &mut raw);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let want = flat.lookup_id(addr);
+            prop_assert_eq!(out[i], want, "lookup_many at {:#010x}", addr);
+            prop_assert_eq!(raw[i], want.map_or(0, |id| id + 1), "lookup_many_raw at {:#010x}", addr);
+        }
+        // Sub-batch splits agree with the full batch.
+        for size in [1usize, 7, 64, 65] {
+            let mut split = vec![None; addrs.len()];
+            for (a_chunk, o_chunk) in addrs.chunks(size).zip(split.chunks_mut(size)) {
+                flat.lookup_many(a_chunk, o_chunk);
+            }
+            prop_assert_eq!(&split, &out, "batch size {}", size);
+        }
+    }
 }

@@ -29,6 +29,9 @@ pub enum PacketError {
     BadMagic(u32),
     /// A pcap record header whose captured length is implausible.
     ImplausibleCaptureLen(u32),
+    /// A timestamp that does not fit the pcap record header's 32-bit
+    /// seconds field (nanoseconds since the epoch shown).
+    UnrepresentableTimestamp(u64),
     /// A pcap link type the metadata extractor does not handle.
     UnsupportedLinkType(u32),
     /// An underlying I/O failure (message-only so the error stays `Eq`).
@@ -49,6 +52,9 @@ impl fmt::Display for PacketError {
             PacketError::BadMagic(m) => write!(f, "unrecognised pcap magic {m:#010x}"),
             PacketError::ImplausibleCaptureLen(l) => {
                 write!(f, "implausible pcap capture length {l}")
+            }
+            PacketError::UnrepresentableTimestamp(ns) => {
+                write!(f, "timestamp {ns} ns overflows the pcap 32-bit seconds field")
             }
             PacketError::UnsupportedLinkType(t) => write!(f, "unsupported pcap linktype {t}"),
             PacketError::Io(msg) => write!(f, "I/O error: {msg}"),

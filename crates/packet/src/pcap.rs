@@ -115,10 +115,21 @@ impl<W: Write> PcapWriter<W> {
 
     /// Append one packet. `data` is truncated to the snap length; the
     /// original length recorded is `orig_len` (pass `data.len()` when the
-    /// packet is complete).
+    /// packet is complete), raised to the captured length if it claims
+    /// less — a record capturing more bytes than existed on the wire is
+    /// not representable, and readers (including ours) treat
+    /// `orig_len ≥ caplen` as an invariant of a well-formed file.
+    ///
+    /// # Errors
+    /// [`PacketError::UnrepresentableTimestamp`] when `ts_ns` exceeds
+    /// the format's 32-bit seconds field (≈ year 2106) — previously the
+    /// seconds were silently truncated, corrupting the written file's
+    /// timeline.
     pub fn write_record(&mut self, ts_ns: u64, orig_len: u32, data: &[u8]) -> Result<()> {
         let captured = data.len().min(self.snaplen as usize);
-        let secs = (ts_ns / 1_000_000_000) as u32;
+        let secs = u32::try_from(ts_ns / 1_000_000_000)
+            .map_err(|_| PacketError::UnrepresentableTimestamp(ts_ns))?;
+        let orig_len = orig_len.max(captured as u32);
         let subsec = match self.resolution {
             TsResolution::Micro => (ts_ns % 1_000_000_000) / 1_000,
             TsResolution::Nano => ts_ns % 1_000_000_000,
@@ -304,6 +315,49 @@ impl<'a> PcapSlice<'a> {
         self.pos
     }
 
+    /// Decode up to `max` records into `out` (appended), returning how
+    /// many were decoded; fewer than `max` means clean end-of-input.
+    ///
+    /// This is the two-cursor form of the scan: a *scan-ahead* cursor
+    /// walks the raw bytes roughly [`SCAN_AHEAD_BYTES`] in front of the
+    /// decode position, requesting one cache line per touch, while the
+    /// *consume* cursor decodes record headers behind it. The header
+    /// walk itself is a dependent chain (each record's offset comes from
+    /// the previous record's captured length), so a cold miss on every
+    /// header serialises the whole scan — warming the lines ahead of
+    /// the chain is what keeps the shard-splitting pass of
+    /// `eleph_flow::aggregate_pcap_parallel` off the memory-latency
+    /// floor. With the `prefetch` cargo feature the touches are real
+    /// `prefetcht0` hints; without it they are forced one-byte reads,
+    /// which the out-of-order window hides almost as well.
+    ///
+    /// Errors abort the batch exactly like [`PcapSlice::next_record`]:
+    /// records already appended to `out` are valid, the cursor stops at
+    /// the damaged record.
+    pub fn next_batch(
+        &mut self,
+        max: usize,
+        out: &mut Vec<(RecordHeader, &'a [u8])>,
+    ) -> Result<usize> {
+        let mut touched = self.pos;
+        let mut n = 0;
+        while n < max {
+            let target = (self.pos + SCAN_AHEAD_BYTES).min(self.data.len());
+            while touched < target {
+                touch_ahead(&self.data[touched]);
+                touched += CACHE_LINE;
+            }
+            match self.next_record()? {
+                Some(rec) => {
+                    out.push(rec);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
     /// The next record's header and its captured bytes, borrowed from
     /// the input; `Ok(None)` on clean end-of-input.
     pub fn next_record(&mut self) -> Result<Option<(RecordHeader, &'a [u8])>> {
@@ -332,6 +386,46 @@ impl<'a> PcapSlice<'a> {
         self.pos += 16 + caplen as usize;
         Ok(Some((head, data)))
     }
+}
+
+/// How far the scan-ahead cursor of [`PcapSlice::next_batch`] runs in
+/// front of the decode position. A few records' worth: far enough that
+/// the touched lines arrive before the consume cursor needs them, near
+/// enough not to thrash the L1.
+const SCAN_AHEAD_BYTES: usize = 4096;
+
+/// Stride of the scan-ahead touches — one per cache line.
+const CACHE_LINE: usize = 64;
+
+/// Ask the memory system to warm the cache line holding `byte`.
+#[cfg(feature = "prefetch")]
+#[inline(always)]
+#[allow(unsafe_code)]
+fn touch_ahead(byte: &u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it never faults and performs no
+    // observable memory access.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(
+            byte as *const u8 as *const i8,
+            core::arch::x86_64::_MM_HINT_T0,
+        );
+    }
+    // No stable prefetch intrinsic on other architectures: fall back to
+    // the forced read the feature-off build uses, so enabling the
+    // feature never loses the scan-ahead warming.
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = std::hint::black_box(*byte);
+}
+
+/// Warm the cache line holding `byte` with a forced (non-elidable)
+/// read — the safe-code stand-in for a prefetch instruction; the
+/// out-of-order window hides the load's latency because nothing
+/// consumes its value.
+#[cfg(not(feature = "prefetch"))]
+#[inline(always)]
+fn touch_ahead(byte: &u8) {
+    let _ = std::hint::black_box(*byte);
 }
 
 enum ReadOutcome {
@@ -556,6 +650,87 @@ mod tests {
             }
         }
         assert_eq!(slice.position(), buf.len());
+    }
+
+    #[test]
+    fn writer_rejects_unrepresentable_timestamps() {
+        // Regression: seconds used to be truncated with `as u32`,
+        // silently wrapping timestamps past ~year 2106.
+        let max_ok = u64::from(u32::MAX) * 1_000_000_000 + 999_999_999;
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.write_record(max_ok, 1, &[0]).unwrap();
+        assert!(matches!(
+            w.write_record(max_ok + 1, 1, &[0]).unwrap_err(),
+            PacketError::UnrepresentableTimestamp(ns) if ns == max_ok + 1
+        ));
+        assert_eq!(w.records_written(), 1);
+        w.finish().unwrap();
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        // The accepted boundary record round-trips without wrapping
+        // (microsecond resolution rounds the sub-µs digits away).
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_ns, u64::from(u32::MAX) * 1_000_000_000 + 999_999_000);
+    }
+
+    #[test]
+    fn writer_clamps_orig_len_to_captured() {
+        // Regression: `orig_len < captured` used to be written verbatim,
+        // producing records no reader should trust.
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.write_record(0, 2, &[1, 2, 3, 4, 5]).unwrap();
+        w.finish().unwrap();
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.data.len(), 5);
+        assert_eq!(rec.orig_len, 5, "orig_len must cover the captured bytes");
+    }
+
+    #[test]
+    fn batch_scan_matches_single_record_scan() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::with_options(&mut buf, 101, TsResolution::Nano, 65535).unwrap();
+        for i in 0..300u64 {
+            let len = (i % 97) as usize;
+            w.write_record(i * 1_000, len as u32, &vec![i as u8; len]).unwrap();
+        }
+        w.finish().unwrap();
+
+        for batch_size in [1usize, 7, 64, 1000] {
+            let mut single = PcapSlice::new(&buf[..]).unwrap();
+            let mut batched = PcapSlice::new(&buf[..]).unwrap();
+            let mut got: Vec<(RecordHeader, &[u8])> = Vec::new();
+            loop {
+                let n = batched.next_batch(batch_size, &mut got).unwrap();
+                if n < batch_size {
+                    break;
+                }
+            }
+            assert_eq!(batched.position(), buf.len());
+            let mut i = 0;
+            while let Some((head, data)) = single.next_record().unwrap() {
+                assert_eq!(got[i], (head, data), "batch {batch_size}, record {i}");
+                i += 1;
+            }
+            assert_eq!(got.len(), i, "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn batch_scan_surfaces_errors_after_valid_prefix() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 1).unwrap();
+        w.write_record(0, 4, &[1, 2, 3, 4]).unwrap();
+        w.write_record(1_000, 4, &[5, 6, 7, 8]).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 2); // cut the second record's body
+        let mut cursor = PcapSlice::new(&buf[..]).unwrap();
+        let mut out = Vec::new();
+        assert!(cursor.next_batch(16, &mut out).is_err());
+        // The valid prefix was still decoded.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, &[1, 2, 3, 4]);
     }
 
     #[test]

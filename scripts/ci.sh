@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The repository's verification gate, in the order a reviewer should
+# trust it:
+#
+#   1. tier-1: release build + full test suite (see ROADMAP.md);
+#   2. the `prefetch` feature: build and test the feature-gated software
+#      prefetch paths (net batch lookup, packet scan-ahead, and their
+#      dependents) so the gated code cannot rot unbuilt;
+#   3. bench compilation: the criterion harnesses must at least build.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== feature gate: prefetch build =="
+cargo build -p eleph-flow -p eleph-bench --features prefetch
+
+echo "== feature gate: prefetch tests (net + packet + flow) =="
+cargo test -q -p eleph-net -p eleph-packet -p eleph-flow --features prefetch
+
+echo "== benches compile =="
+cargo build -p eleph-bench --benches --release
+
+echo "ci.sh: all gates green"
