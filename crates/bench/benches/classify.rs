@@ -1,12 +1,15 @@
 //! Classifier throughput: the full per-trace classification (threshold
-//! detection + EWMA + state update) for both schemes, plus holding-time
+//! detection + EWMA + state update) for all three schemes, the
+//! shared-work sweep path ([`eleph_core::classify_many`] vs independent
+//! runs), the columnar matrix scan primitives, and holding-time
 //! analysis. Measures the cost of running the paper's methodology
 //! online.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eleph_bench::bench_matrix;
 use eleph_core::{
-    classify, holding, ConstantLoadDetector, Scheme, PAPER_GAMMA, PAPER_LATENT_WINDOW,
+    classify, classify_many, holding, ClassifyConfig, ConstantLoadDetector, Scheme, PAPER_GAMMA,
+    PAPER_LATENT_WINDOW,
 };
 
 fn bench_schemes(c: &mut Criterion) {
@@ -35,6 +38,102 @@ fn bench_schemes(c: &mut Criterion) {
             )
         })
     });
+    group.bench_function("hysteresis", |b| {
+        b.iter(|| {
+            classify(
+                black_box(&matrix),
+                ConstantLoadDetector::new(0.8),
+                PAPER_GAMMA,
+                Scheme::Hysteresis {
+                    enter: 1.2,
+                    exit: 0.6,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+/// A typical parameter sweep (4 latent-heat windows, one detector):
+/// independent `classify` calls pay the detection per configuration,
+/// `classify_many` pays it once.
+fn bench_sweep(c: &mut Criterion) {
+    let matrix = bench_matrix(4_000, 72);
+    let configs: Vec<ClassifyConfig> = [1usize, 6, 12, 24]
+        .iter()
+        .map(|&window| ClassifyConfig {
+            gamma: PAPER_GAMMA,
+            scheme: Scheme::LatentHeat { window },
+        })
+        .collect();
+    let mut group = c.benchmark_group("classify_sweep");
+    group.sample_size(10);
+    group.bench_function("independent_4cfg", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|cfg| {
+                    classify(
+                        black_box(&matrix),
+                        ConstantLoadDetector::new(0.8),
+                        cfg.gamma,
+                        cfg.scheme,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("shared_4cfg", |b| {
+        b.iter(|| {
+            classify_many(
+                black_box(&matrix),
+                &ConstantLoadDetector::new(0.8),
+                black_box(&configs),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The columnar store's scan primitives: the allocation-free
+/// `values_into` fill the classifier hot loop uses, its allocating
+/// predecessor, and a full key/rate column walk.
+fn bench_matrix_scan(c: &mut Criterion) {
+    let matrix = bench_matrix(4_000, 72);
+    let mut group = c.benchmark_group("dense_matrix");
+    group.bench_function("values_into_72int", |b| {
+        let mut buf: Vec<f64> = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for n in 0..matrix.n_intervals() {
+                matrix.values_into(n, &mut buf);
+                acc += buf.iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("values_alloc_72int", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for n in 0..matrix.n_intervals() {
+                acc += matrix.values(n).iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("interval_scan_72int", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            let mut keys = 0u64;
+            for n in 0..matrix.n_intervals() {
+                for (key, rate) in matrix.interval(n).iter() {
+                    keys += u64::from(key);
+                    acc += f64::from(rate);
+                }
+            }
+            black_box((acc, keys))
+        })
+    });
     group.finish();
 }
 
@@ -56,5 +155,11 @@ fn bench_holding(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_schemes, bench_holding);
+criterion_group!(
+    benches,
+    bench_schemes,
+    bench_sweep,
+    bench_matrix_scan,
+    bench_holding
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eleph_report::experiments::{
     ablation_beta, ablation_gamma, ablation_scheme, ablation_window, fig1_data, fig1a, fig1b,
-    fig1c, table1, table2, table3, table4,
+    fig1c, table1, table2, table3, table4, west_lab,
 };
 
 const SCALE: f64 = 0.05;
@@ -47,7 +47,7 @@ fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
     group.bench_function("table1_single_feature", |b| {
-        b.iter(|| table1(SCALE, SEED).expect("table1"))
+        b.iter(|| table1(&data).expect("table1"))
     });
     group.bench_function("table2_latent_heat", |b| {
         b.iter(|| table2(&data).expect("table2"))
@@ -62,19 +62,22 @@ fn bench_tables(c: &mut Criterion) {
 }
 
 fn bench_ablations(c: &mut Criterion) {
+    // One shared scenario build, exactly as the harness runs the
+    // ablations: the benches measure the sweeps themselves.
+    let (scenario, data) = west_lab(SCALE, SEED);
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("gamma_sweep", |b| {
-        b.iter(|| ablation_gamma(SCALE, SEED).expect("gamma"))
+        b.iter(|| ablation_gamma(&scenario, &data).expect("gamma"))
     });
     group.bench_function("window_sweep", |b| {
-        b.iter(|| ablation_window(SCALE, SEED).expect("window"))
+        b.iter(|| ablation_window(&scenario, &data).expect("window"))
     });
     group.bench_function("beta_sweep", |b| {
-        b.iter(|| ablation_beta(SCALE, SEED).expect("beta"))
+        b.iter(|| ablation_beta(&scenario, &data).expect("beta"))
     });
     group.bench_function("scheme_comparison", |b| {
-        b.iter(|| ablation_scheme(SCALE, SEED).expect("scheme"))
+        b.iter(|| ablation_scheme(&scenario, &data).expect("scheme"))
     });
     group.finish();
 }

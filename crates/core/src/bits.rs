@@ -1,0 +1,140 @@
+//! Dense key-id bitset backing the classifier state.
+//!
+//! Classification tracks *membership* per [`KeyId`] — which keys have
+//! window history, which keys are current elephants. Key ids are dense
+//! (first-seen order from the measurement pipeline), so a flat `u64`
+//! word array beats a hash set on every axis that matters here: O(1)
+//! branch-free test/set/clear, and ordered iteration is a word scan
+//! that yields keys already ascending — the classifier emits sorted
+//! elephant lists without a per-interval `collect` + `sort`.
+
+use eleph_flow::KeyId;
+
+/// A growable bitset over dense [`KeyId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct KeyBitset {
+    words: Vec<u64>,
+    /// Number of set bits, maintained incrementally.
+    len: usize,
+}
+
+impl KeyBitset {
+    /// Empty set sized for keys `0..n_keys` (grows on demand beyond).
+    pub fn with_capacity(n_keys: usize) -> Self {
+        KeyBitset {
+            words: vec![0; n_keys.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    #[allow(dead_code)] // API completeness next to len(); exercised in tests
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: KeyId) -> bool {
+        let w = (key / 64) as usize;
+        w < self.words.len() && self.words[w] & (1u64 << (key % 64)) != 0
+    }
+
+    /// Insert `key`; grows the word array as needed.
+    #[inline]
+    pub fn insert(&mut self, key: KeyId) {
+        let w = (key / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (key % 64);
+        self.len += usize::from(self.words[w] & bit == 0);
+        self.words[w] |= bit;
+    }
+
+    /// Remove `key` if present.
+    #[inline]
+    pub fn remove(&mut self, key: KeyId) {
+        let w = (key / 64) as usize;
+        if w < self.words.len() {
+            let bit = 1u64 << (key % 64);
+            self.len -= usize::from(self.words[w] & bit != 0);
+            self.words[w] &= !bit;
+        }
+    }
+
+    /// Iterate set keys in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = KeyId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let base = (w as u32) * 64;
+            BitIter { word, base }
+        })
+    }
+}
+
+/// Iterator over the set bits of one word.
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = KeyId;
+
+    #[inline]
+    fn next(&mut self) -> Option<KeyId> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = KeyBitset::with_capacity(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(64);
+        s.insert(3); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(s.contains(64));
+        assert!(!s.contains(4));
+        assert!(!s.contains(1000)); // beyond capacity: absent, no panic
+        s.remove(3);
+        s.remove(3); // idempotent
+        s.remove(999); // absent beyond capacity: no-op
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = KeyBitset::default();
+        s.insert(1000);
+        assert!(s.contains(1000));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iterates_ascending() {
+        let mut s = KeyBitset::with_capacity(0);
+        for k in [300u32, 0, 63, 64, 65, 7, 129] {
+            s.insert(k);
+        }
+        let got: Vec<KeyId> = s.iter().collect();
+        assert_eq!(got, vec![0, 7, 63, 64, 65, 129, 300]);
+    }
+}

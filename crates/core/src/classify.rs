@@ -1,9 +1,20 @@
 //! The classification schemes over a bandwidth matrix.
+//!
+//! The engine is columnar and dense: per-key state lives in flat
+//! `Vec`s indexed by [`KeyId`] (sliding latent-heat sums, window
+//! occupancy counts) plus [`KeyBitset`]s for membership, so a
+//! classification pass is linear walks over the matrix's key/rate
+//! columns with no hashing and no per-interval allocation beyond the
+//! emitted elephant lists (which come out of bitset iteration already
+//! sorted). [`classify_many`] runs a whole family of configurations
+//! (γ / window / scheme variants) over one matrix in a single pass,
+//! detecting each interval's raw threshold once and sharing it across
+//! every configuration — the sweep experiments are built on it.
 
-use eleph_flow::{BandwidthMatrix, KeyId};
-use rustc_hash::{FxHashMap, FxHashSet};
+use eleph_flow::{BandwidthMatrix, IntervalView, KeyId};
 
-use crate::{ThresholdDetector, ThresholdTracker};
+use crate::bits::KeyBitset;
+use crate::{ThresholdDetector, ThresholdSeries};
 
 /// Which classification scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +40,16 @@ pub enum Scheme {
         /// Exit multiplier on the smoothed threshold (≤ 1).
         exit: f64,
     },
+}
+
+/// One classification configuration for [`classify_many`]: everything
+/// except the matrix and the threshold detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifyConfig {
+    /// EWMA smoothing factor γ for the threshold update.
+    pub gamma: f64,
+    /// The classification scheme.
+    pub scheme: Scheme,
 }
 
 /// The outcome of classifying a whole trace.
@@ -71,7 +92,8 @@ impl ClassificationResult {
         }
     }
 
-    /// Whether `key` is an elephant in interval `n`.
+    /// Whether `key` is an elephant in interval `n` (binary search on
+    /// the sorted per-interval list).
     pub fn is_elephant(&self, n: usize, key: KeyId) -> bool {
         self.elephants[n].binary_search(&key).is_ok()
     }
@@ -102,132 +124,293 @@ impl ClassificationResult {
     }
 }
 
+/// The sliding latent-heat numerator for one configuration, dense over
+/// key ids.
+///
+/// `sum[k]` is `Σ B_k(j)` over the window slots in which key `k` was
+/// active; `live[k]` counts those slots. The count makes retirement
+/// *exact*: when a key's last in-window activity retires, its sum is
+/// reset to literal `0.0` instead of relying on `add`/`subtract`
+/// round-trips to cancel — accumulated f64 rounding can otherwise leave
+/// a small residue (positive residue = a phantom elephant that never
+/// goes away, negative = a live micro-flow wrongly suppressed; the old
+/// hash-map state dropped keys at a `1e-9` epsilon, which mis-handled
+/// both ends). A mid-window negative excursion (possible only under
+/// catastrophic cancellation of enormously mismatched rates) is clamped
+/// to 0.
+#[derive(Debug)]
+struct LatentState {
+    sum: Vec<f64>,
+    live: Vec<u32>,
+    in_window: KeyBitset,
+    sum_t: f64,
+    /// Per-interval finite threshold term (the smoothed threshold, or
+    /// the "unbeatable" stand-in while detection has not started).
+    t_terms: Vec<f64>,
+}
+
+impl LatentState {
+    fn new(n_keys: usize, n_intervals: usize) -> Self {
+        LatentState {
+            sum: vec![0.0; n_keys],
+            live: vec![0; n_keys],
+            in_window: KeyBitset::with_capacity(n_keys),
+            sum_t: 0.0,
+            t_terms: Vec::with_capacity(n_intervals),
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, key: KeyId, rate: f32) {
+        let k = key as usize;
+        if self.live[k] == 0 {
+            self.sum[k] = f64::from(rate);
+            self.in_window.insert(key);
+        } else {
+            self.sum[k] += f64::from(rate);
+        }
+        self.live[k] += 1;
+    }
+
+    #[inline]
+    fn retire(&mut self, key: KeyId, rate: f32) {
+        let k = key as usize;
+        self.live[k] -= 1;
+        if self.live[k] == 0 {
+            self.sum[k] = 0.0;
+            self.in_window.remove(key);
+        } else {
+            self.sum[k] = (self.sum[k] - f64::from(rate)).max(0.0);
+        }
+    }
+}
+
+/// Per-configuration classifier state inside [`classify_many`].
+struct ConfigState {
+    scheme: Scheme,
+    window: usize,
+    series: ThresholdSeries,
+    latent: Option<LatentState>,
+    members: KeyBitset,
+    elephants: Vec<Vec<KeyId>>,
+    elephant_load: Vec<f64>,
+    total_load: Vec<f64>,
+}
+
+impl ConfigState {
+    fn new(config: &ClassifyConfig, n_keys: usize, n_intervals: usize) -> Self {
+        let (window, latent) = match config.scheme {
+            Scheme::LatentHeat { window } => {
+                assert!(window >= 1, "latent-heat window must be >= 1");
+                (window, Some(LatentState::new(n_keys, n_intervals)))
+            }
+            Scheme::SingleFeature => (1, None),
+            Scheme::Hysteresis { enter, exit } => {
+                assert!(
+                    enter >= 1.0 && exit <= 1.0 && exit >= 0.0,
+                    "need exit <= 1 <= enter"
+                );
+                (1, None)
+            }
+        };
+        ConfigState {
+            scheme: config.scheme,
+            window,
+            series: ThresholdSeries::new(config.gamma),
+            latent,
+            members: KeyBitset::with_capacity(n_keys),
+            elephants: Vec::with_capacity(n_intervals),
+            elephant_load: Vec::with_capacity(n_intervals),
+            total_load: Vec::with_capacity(n_intervals),
+        }
+    }
+
+    /// Advance by one interval: threshold update, window slide,
+    /// classification.
+    fn step(
+        &mut self,
+        matrix: &BandwidthMatrix,
+        n: usize,
+        view: IntervalView<'_>,
+        raw: Option<f64>,
+        unbeatable: f64,
+        total: f64,
+    ) {
+        let threshold = self.series.observe_raw(raw);
+
+        if let Some(latent) = &mut self.latent {
+            // Slide the window: add interval n, retire interval n−w. An
+            // infinite pre-detection threshold would poison the sliding
+            // threshold sum; the finite `unbeatable` stand-in (interval
+            // max + 1) models "no flow can beat this interval" instead.
+            let t_term = if threshold.is_finite() {
+                threshold
+            } else {
+                unbeatable
+            };
+            latent.sum_t += t_term;
+            latent.t_terms.push(t_term);
+            for (key, rate) in view.iter() {
+                latent.add(key, rate);
+            }
+            if n >= self.window {
+                let retire = n - self.window;
+                latent.sum_t -= latent.t_terms[retire];
+                for (key, rate) in matrix.interval(retire).iter() {
+                    latent.retire(key, rate);
+                }
+            }
+        }
+
+        // Classify. Every branch emits keys in ascending id order (the
+        // columns are sorted and bitset iteration is ordered), so the
+        // per-interval sort of the old sparse path is gone; the load is
+        // accumulated in the same ascending order for bit-identical
+        // float sums.
+        let mut current: Vec<KeyId> = Vec::new();
+        let mut load = 0.0f64;
+        match self.scheme {
+            Scheme::SingleFeature => {
+                for (key, rate) in view.iter() {
+                    let b = f64::from(rate);
+                    if b > threshold {
+                        current.push(key);
+                        load += b;
+                    }
+                }
+            }
+            Scheme::LatentHeat { .. } => {
+                let latent = self.latent.as_ref().expect("latent state for latent heat");
+                // Effective window shrinks at the start of the trace.
+                // Both the window bitset and the interval's key column
+                // ascend, so the load join is an ordered two-pointer
+                // merge: elephants inactive this interval contribute
+                // nothing (bit-identical to adding their 0.0 rate).
+                let (keys, rates) = (view.keys(), view.rates());
+                let mut vi = 0usize;
+                for key in latent.in_window.iter() {
+                    if latent.sum[key as usize] > latent.sum_t {
+                        current.push(key);
+                        while vi < keys.len() && keys[vi] < key {
+                            vi += 1;
+                        }
+                        if vi < keys.len() && keys[vi] == key {
+                            load += f64::from(rates[vi]);
+                        }
+                    }
+                }
+            }
+            Scheme::Hysteresis { enter, exit } => {
+                for (key, rate) in view.iter() {
+                    let b = f64::from(rate);
+                    let keep = if self.members.contains(key) {
+                        b >= exit * threshold
+                    } else {
+                        b > enter * threshold
+                    };
+                    if keep {
+                        current.push(key);
+                        load += b;
+                    }
+                }
+                // Membership becomes exactly the current elephant set.
+                if let Some(prev) = self.elephants.last() {
+                    for &key in prev {
+                        self.members.remove(key);
+                    }
+                }
+                for &key in &current {
+                    self.members.insert(key);
+                }
+            }
+        }
+
+        self.elephant_load.push(load);
+        self.total_load.push(total);
+        self.elephants.push(current);
+    }
+
+    fn finish(self, detector: String) -> ClassificationResult {
+        let (raw_thresholds, thresholds) = self.series.into_histories();
+        ClassificationResult {
+            detector,
+            scheme: self.scheme,
+            thresholds,
+            raw_thresholds,
+            elephants: self.elephants,
+            elephant_load: self.elephant_load,
+            total_load: self.total_load,
+        }
+    }
+}
+
 /// Run a scheme over a matrix with the given detector and smoothing γ.
 ///
 /// This is the complete §II methodology in one call: per interval,
 /// threshold detection → EWMA update → classification (single- or
-/// two-feature). Deterministic; the detector sees only each interval's
-/// active-flow bandwidths.
+/// two-feature, or the hysteresis baseline). Deterministic; the
+/// detector sees only each interval's active-flow bandwidths.
 pub fn classify<D: ThresholdDetector>(
     matrix: &BandwidthMatrix,
     detector: D,
     gamma: f64,
     scheme: Scheme,
 ) -> ClassificationResult {
-    let mut tracker = ThresholdTracker::new(detector, gamma);
+    let config = ClassifyConfig { gamma, scheme };
+    classify_many(matrix, &detector, std::slice::from_ref(&config))
+        .pop()
+        .expect("one config in, one result out")
+}
+
+/// Run a whole family of configurations over one matrix in a single
+/// pass.
+///
+/// Per interval the detector runs **once** and its raw threshold is
+/// shared by every configuration (each keeps its own EWMA series, so
+/// different γ values still smooth independently) — for a sweep of `c`
+/// configurations this removes `c − 1` of the detection passes, which
+/// dominate classification cost. Every returned result is byte-identical
+/// to running [`classify`] separately with that configuration (pinned by
+/// property tests).
+pub fn classify_many<D: ThresholdDetector>(
+    matrix: &BandwidthMatrix,
+    detector: &D,
+    configs: &[ClassifyConfig],
+) -> Vec<ClassificationResult> {
     let n_int = matrix.n_intervals();
-
-    let mut elephants: Vec<Vec<KeyId>> = Vec::with_capacity(n_int);
-    let mut elephant_load: Vec<f64> = Vec::with_capacity(n_int);
-    let mut total_load: Vec<f64> = Vec::with_capacity(n_int);
-
-    // Latent-heat state: sliding sums of B_i over the window per key, and
-    // of T̄ over the window. LH_i(n) = sum_b[i] − sum_t, so a key is an
-    // elephant iff sum_b[i] > sum_t — flows with no recorded activity in
-    // the window have sum_b = 0 and can never qualify (sum_t > 0).
-    let window = match scheme {
-        Scheme::LatentHeat { window } => {
-            assert!(window >= 1, "latent-heat window must be >= 1");
-            window
-        }
-        Scheme::SingleFeature => 1,
-        Scheme::Hysteresis { enter, exit } => {
-            assert!(enter >= 1.0 && exit <= 1.0 && exit >= 0.0, "need exit <= 1 <= enter");
-            1
-        }
-    };
-    let mut hysteresis_members: FxHashSet<KeyId> = FxHashSet::default();
-    let mut sum_b: FxHashMap<KeyId, f64> = FxHashMap::default();
-    let mut sum_t = 0.0f64;
-    let mut t_hist: Vec<f64> = Vec::with_capacity(n_int);
+    let n_keys = matrix.n_keys();
+    let mut states: Vec<ConfigState> = configs
+        .iter()
+        .map(|c| ConfigState::new(c, n_keys, n_int))
+        .collect();
+    let mut values: Vec<f64> = Vec::new();
+    let mut detected = false;
 
     for n in 0..n_int {
-        let values = matrix.values(n);
-        let threshold = tracker.observe(&values);
-        t_hist.push(threshold);
-
-        // Slide the window: add interval n, retire interval n-window.
-        if threshold.is_finite() {
-            sum_t += threshold;
+        matrix.values_into(n, &mut values);
+        let raw = detector.detect(&values);
+        // All configurations share the raw detection stream, so "no
+        // detection yet" — the only state with an infinite smoothed
+        // threshold — is config-independent; compute its finite
+        // stand-in once, only while needed.
+        let unbeatable = if !detected && raw.is_none() {
+            values.iter().cloned().fold(0.0, f64::max) + 1.0
         } else {
-            // An infinite pre-detection threshold poisons the sliding sum;
-            // model it as "no flow can beat this interval" by adding the
-            // interval's max value + 1 — finite, but above everyone.
-            sum_t += values.iter().cloned().fold(0.0, f64::max) + 1.0;
-        }
-        for &(key, rate) in matrix.interval(n) {
-            *sum_b.entry(key).or_insert(0.0) += f64::from(rate);
-        }
-        if n >= window {
-            let retire = n - window;
-            let t_old = t_hist[retire];
-            if t_old.is_finite() {
-                sum_t -= t_old;
-            } else {
-                let old_vals = matrix.values(retire);
-                sum_t -= old_vals.iter().cloned().fold(0.0, f64::max) + 1.0;
-            }
-            for &(key, rate) in matrix.interval(retire) {
-                if let Some(s) = sum_b.get_mut(&key) {
-                    *s -= f64::from(rate);
-                    if *s <= 1e-9 {
-                        sum_b.remove(&key);
-                    }
-                }
-            }
-        }
-
-        // Classify.
-        let mut current: Vec<KeyId> = match scheme {
-            Scheme::SingleFeature => matrix
-                .interval(n)
-                .iter()
-                .filter(|&&(_, rate)| f64::from(rate) > threshold)
-                .map(|&(key, _)| key)
-                .collect(),
-            Scheme::LatentHeat { .. } => {
-                // Effective window shrinks at the start of the trace.
-                sum_b
-                    .iter()
-                    .filter(|&(_, &s)| s > sum_t)
-                    .map(|(&key, _)| key)
-                    .collect()
-            }
-            Scheme::Hysteresis { enter, exit } => {
-                let next: Vec<KeyId> = matrix
-                    .interval(n)
-                    .iter()
-                    .filter(|&&(key, rate)| {
-                        let b = f64::from(rate);
-                        if hysteresis_members.contains(&key) {
-                            b >= exit * threshold
-                        } else {
-                            b > enter * threshold
-                        }
-                    })
-                    .map(|&(key, _)| key)
-                    .collect();
-                hysteresis_members = next.iter().copied().collect();
-                next
-            }
+            0.0
         };
-        current.sort_unstable();
+        detected |= raw.is_some();
 
-        let load: f64 = current.iter().map(|&key| matrix.rate(n, key)).sum();
-        elephant_load.push(load);
-        total_load.push(matrix.total(n));
-        elephants.push(current);
+        let view = matrix.interval(n);
+        let total = matrix.total(n);
+        for state in &mut states {
+            state.step(matrix, n, view, raw, unbeatable, total);
+        }
     }
 
-    ClassificationResult {
-        detector: tracker.detector_name(),
-        scheme,
-        thresholds: tracker.smoothed_history().to_vec(),
-        raw_thresholds: tracker.raw_history().to_vec(),
-        elephants,
-        elephant_load,
-        total_load,
-    }
+    states
+        .into_iter()
+        .map(|s| s.finish(detector.name()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -427,5 +610,71 @@ mod tests {
         for t in tail {
             assert!((t - 50.0).abs() < 15.0, "threshold {t} insufficiently smooth");
         }
+    }
+
+    #[test]
+    fn hysteresis_membership_over_matrix() {
+        // Key 0 rides the watermarks: enters at 130 (> 1.2·100), survives
+        // a dip to 80 (≥ 0.6·100), leaves at 50, may not re-enter at 110.
+        let rows: Vec<Vec<f64>> = [130.0, 80.0, 50.0, 110.0, 125.0]
+            .iter()
+            .map(|&r| vec![r])
+            .collect();
+        let m = matrix(&rows);
+        let r = classify(
+            &m,
+            Fixed(100.0),
+            0.0,
+            Scheme::Hysteresis { enter: 1.2, exit: 0.6 },
+        );
+        let got: Vec<bool> = (0..rows.len()).map(|n| r.count(n) == 1).collect();
+        assert_eq!(got, vec![true, true, false, false, true]);
+    }
+
+    #[test]
+    fn classify_many_single_pass_matches_independent_runs() {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|n| {
+                vec![
+                    100.0 + n as f64,
+                    if n % 3 == 0 { 90.0 } else { 10.0 },
+                    55.0,
+                    if n > 5 { 200.0 } else { 0.0 },
+                ]
+            })
+            .collect();
+        let m = matrix(&rows);
+        let configs = [
+            ClassifyConfig { gamma: 0.0, scheme: Scheme::SingleFeature },
+            ClassifyConfig { gamma: 0.9, scheme: Scheme::LatentHeat { window: 3 } },
+            ClassifyConfig { gamma: 0.5, scheme: Scheme::LatentHeat { window: 1 } },
+            ClassifyConfig {
+                gamma: 0.9,
+                scheme: Scheme::Hysteresis { enter: 1.2, exit: 0.6 },
+            },
+        ];
+        let shared = classify_many(&m, &crate::ConstantLoadDetector::new(0.8), &configs);
+        assert_eq!(shared.len(), configs.len());
+        for (config, got) in configs.iter().zip(&shared) {
+            let solo = classify(
+                &m,
+                crate::ConstantLoadDetector::new(0.8),
+                config.gamma,
+                config.scheme,
+            );
+            assert_eq!(got.detector, solo.detector);
+            assert_eq!(got.elephants, solo.elephants, "{config:?}");
+            assert_eq!(got.thresholds, solo.thresholds, "{config:?}");
+            assert_eq!(got.raw_thresholds, solo.raw_thresholds, "{config:?}");
+            assert_eq!(got.elephant_load, solo.elephant_load, "{config:?}");
+            assert_eq!(got.total_load, solo.total_load, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn classify_many_empty_config_list() {
+        let m = matrix(&[vec![100.0]]);
+        let out = classify_many(&m, &Fixed(50.0), &[]);
+        assert!(out.is_empty());
     }
 }

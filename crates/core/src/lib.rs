@@ -29,10 +29,17 @@
 //! times, single-interval elephants — Figure 1(c) and the in-text claims)
 //! live in [`holding`], and the paper's §III prefix-length analysis in
 //! [`prefix_analysis`].
+//!
+//! The classifier is columnar and dense throughout: per-key state sits
+//! in flat vectors and bitsets indexed by `KeyId` (no hash maps on the
+//! per-interval path), and [`classify_many`] amortises one detector
+//! pass over a whole family of configurations — the engine behind the
+//! report crate's parameter sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 mod classify;
 pub mod holding;
 mod online;
@@ -40,12 +47,12 @@ pub mod prefix_analysis;
 mod threshold;
 mod tracker;
 
-pub use classify::{classify, ClassificationResult, Scheme};
+pub use classify::{classify, classify_many, ClassificationResult, ClassifyConfig, Scheme};
 pub use online::{IntervalOutcome, OnlineClassifier};
 pub use threshold::{
     AestDetector, ConstantLoadDetector, PercentileDetector, ThresholdDetector, TopNDetector,
 };
-pub use tracker::ThresholdTracker;
+pub use tracker::{ThresholdSeries, ThresholdTracker};
 
 /// The paper's default smoothing factor γ for the threshold update.
 pub const PAPER_GAMMA: f64 = 0.9;

@@ -1,19 +1,25 @@
 //! Streaming classification: one interval at a time.
 //!
 //! The batch API ([`crate::classify`]) consumes a finished
-//! [`BandwidthMatrix`]; a traffic-engineering controller instead sees one
-//! measurement interval at a time and must emit the elephant set before
-//! the next interval lands. [`OnlineClassifier`] is that incremental
-//! form: feed it interval snapshots, get the current elephant set back.
-//! Its output is bit-identical to the batch classifier (pinned by tests),
-//! so experiments validated offline transfer directly to the online
-//! deployment.
+//! [`eleph_flow::BandwidthMatrix`]; a traffic-engineering controller
+//! instead sees one measurement interval at a time and must emit the
+//! elephant set before the next interval lands. [`OnlineClassifier`] is
+//! that incremental form: feed it interval snapshots, get the current
+//! elephant set back. Its output is bit-identical to the batch
+//! classifier (pinned by tests), so experiments validated offline
+//! transfer directly to the online deployment.
+//!
+//! Like the batch engine, the per-key state is dense: sliding sums and
+//! window-occupancy counts in flat vectors indexed by [`KeyId`]
+//! (first-seen key ids are dense by construction), membership in a
+//! [`KeyBitset`]. Elephants fall out of ordered bitset iteration already
+//! sorted — no per-interval hash iteration or sort.
 
 use std::collections::VecDeque;
 
 use eleph_flow::KeyId;
-use rustc_hash::{FxHashMap, FxHashSet};
 
+use crate::bits::KeyBitset;
 use crate::{Scheme, ThresholdDetector, ThresholdTracker};
 
 /// The outcome of one streamed interval.
@@ -42,23 +48,35 @@ impl IntervalOutcome {
     }
 }
 
-/// Incremental implementation of both classification schemes.
+/// Incremental implementation of all three classification schemes.
 ///
-/// Memory: O(flows active within the latent-heat window), independent of
-/// trace length — suitable for an always-on monitor.
+/// Memory: O(highest key id seen) words of dense per-key state plus the
+/// window's snapshots — with the pipeline's dense first-seen key ids
+/// that is O(distinct keys ever active), each key costing a few words
+/// for the lifetime of the monitor. [`OnlineClassifier::tracked_keys`]
+/// reports the number of keys currently holding window state.
 #[derive(Debug)]
 pub struct OnlineClassifier<D> {
     tracker: ThresholdTracker<D>,
     scheme: Scheme,
     window: usize,
-    /// Sliding per-key bandwidth sums over the window.
-    sum_b: FxHashMap<KeyId, f64>,
+    /// Sliding per-key bandwidth sums over the window, dense by key id.
+    sum_b: Vec<f64>,
+    /// Per-key count of window slots with recorded activity. A key's
+    /// sum resets to exact 0.0 when its count hits zero, so retirement
+    /// cannot leave float-rounding residue behind (see the batch
+    /// engine's `LatentState` for the full rationale).
+    live: Vec<u32>,
+    /// Keys with `live > 0`, iterated in ascending order for emission.
+    in_window: KeyBitset,
     /// Sliding threshold sum over the window.
     sum_t: f64,
     /// The window's per-interval history: (threshold term, snapshot).
     history: VecDeque<(f64, Vec<(KeyId, f32)>)>,
     /// Current membership for the hysteresis scheme.
-    members: FxHashSet<KeyId>,
+    members: KeyBitset,
+    /// The previous interval's elephants (to clear hysteresis bits).
+    prev_members: Vec<KeyId>,
     interval: usize,
 }
 
@@ -84,11 +102,24 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
             tracker: ThresholdTracker::new(detector, gamma),
             scheme,
             window,
-            sum_b: FxHashMap::default(),
+            sum_b: Vec::new(),
+            live: Vec::new(),
+            in_window: KeyBitset::default(),
             sum_t: 0.0,
             history: VecDeque::with_capacity(window + 1),
-            members: Default::default(),
+            members: KeyBitset::default(),
+            prev_members: Vec::new(),
             interval: 0,
+        }
+    }
+
+    /// Grow the dense per-key arrays to cover `key`.
+    #[inline]
+    fn ensure_key(&mut self, key: KeyId) {
+        let need = key as usize + 1;
+        if self.sum_b.len() < need {
+            self.sum_b.resize(need, 0.0);
+            self.live.resize(need, 0);
         }
     }
 
@@ -110,63 +141,80 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
         };
         self.sum_t += t_term;
         for &(key, rate) in snapshot {
-            *self.sum_b.entry(key).or_insert(0.0) += f64::from(rate);
+            self.ensure_key(key);
+            let k = key as usize;
+            if self.live[k] == 0 {
+                self.sum_b[k] = f64::from(rate);
+                self.in_window.insert(key);
+            } else {
+                self.sum_b[k] += f64::from(rate);
+            }
+            self.live[k] += 1;
         }
         self.history.push_back((t_term, snapshot.to_vec()));
         if self.history.len() > self.window {
             let (old_t, old_snapshot) = self.history.pop_front().expect("len checked");
             self.sum_t -= old_t;
             for (key, rate) in old_snapshot {
-                if let Some(s) = self.sum_b.get_mut(&key) {
-                    *s -= f64::from(rate);
-                    if *s <= 1e-9 {
-                        self.sum_b.remove(&key);
-                    }
+                let k = key as usize;
+                self.live[k] -= 1;
+                if self.live[k] == 0 {
+                    self.sum_b[k] = 0.0;
+                    self.in_window.remove(key);
+                } else {
+                    self.sum_b[k] = (self.sum_b[k] - f64::from(rate)).max(0.0);
                 }
             }
         }
 
-        // Classify.
-        let mut elephants: Vec<KeyId> = match self.scheme {
-            Scheme::SingleFeature => snapshot
-                .iter()
-                .filter(|&&(_, rate)| f64::from(rate) > threshold)
-                .map(|&(key, _)| key)
-                .collect(),
-            Scheme::LatentHeat { .. } => self
-                .sum_b
-                .iter()
-                .filter(|&(_, &s)| s > self.sum_t)
-                .map(|(&key, _)| key)
-                .collect(),
-            Scheme::Hysteresis { enter, exit } => {
-                let next: Vec<KeyId> = snapshot
-                    .iter()
-                    .filter(|&&(key, rate)| {
-                        let b = f64::from(rate);
-                        if self.members.contains(&key) {
-                            b >= exit * threshold
-                        } else {
-                            b > enter * threshold
-                        }
-                    })
-                    .map(|&(key, _)| key)
-                    .collect();
-                self.members = next.iter().copied().collect();
-                next
+        // Classify. Every branch yields ascending key ids, so the
+        // emitted list needs no sort.
+        let mut elephants: Vec<KeyId> = Vec::new();
+        let mut elephant_load = 0.0f64;
+        match self.scheme {
+            Scheme::SingleFeature => {
+                for &(key, rate) in snapshot {
+                    let b = f64::from(rate);
+                    if b > threshold {
+                        elephants.push(key);
+                        elephant_load += b;
+                    }
+                }
             }
-        };
-        elephants.sort_unstable();
-
-        let elephant_load: f64 = elephants
-            .iter()
-            .map(|key| {
-                snapshot
-                    .binary_search_by_key(key, |&(k, _)| k)
-                    .map(|i| f64::from(snapshot[i].1))
-                    .unwrap_or(0.0)
-            })
-            .sum();
+            Scheme::LatentHeat { .. } => {
+                for key in self.in_window.iter() {
+                    if self.sum_b[key as usize] > self.sum_t {
+                        elephants.push(key);
+                        elephant_load += snapshot
+                            .binary_search_by_key(&key, |&(k, _)| k)
+                            .map(|i| f64::from(snapshot[i].1))
+                            .unwrap_or(0.0);
+                    }
+                }
+            }
+            Scheme::Hysteresis { enter, exit } => {
+                for &(key, rate) in snapshot {
+                    let b = f64::from(rate);
+                    let keep = if self.members.contains(key) {
+                        b >= exit * threshold
+                    } else {
+                        b > enter * threshold
+                    };
+                    if keep {
+                        elephants.push(key);
+                        elephant_load += b;
+                    }
+                }
+                for &key in &self.prev_members {
+                    self.members.remove(key);
+                }
+                for &key in &elephants {
+                    self.members.insert(key);
+                }
+                self.prev_members.clear();
+                self.prev_members.extend_from_slice(&elephants);
+            }
+        }
 
         let outcome = IntervalOutcome {
             interval: self.interval,
@@ -184,10 +232,11 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
         self.interval
     }
 
-    /// Number of keys currently tracked in the sliding window — the
-    /// memory footprint driver.
+    /// Number of keys currently holding sliding-window state — zero
+    /// again once every key has been idle for a full window (the dense
+    /// retire path is exact, so state cannot leak).
     pub fn tracked_keys(&self) -> usize {
-        self.sum_b.len()
+        self.in_window.len()
     }
 }
 
@@ -223,7 +272,7 @@ mod tests {
 
         let mut online = OnlineClassifier::new(ConstantLoadDetector::new(0.8), 0.9, scheme);
         for n in 0..rows.len() {
-            let out = online.observe(matrix.interval(n));
+            let out = online.observe(&matrix.interval(n).to_pairs());
             assert_eq!(out.interval, n);
             assert_eq!(out.elephants, batch.elephants[n], "{scheme:?} interval {n}");
             assert!((out.threshold - batch.thresholds[n]).abs() < 1e-9);
@@ -335,14 +384,38 @@ mod tests {
             })
             .collect();
         let matrix = BandwidthMatrix::from_dense(60, 0, keys(n_keys), &rows);
-        for scheme in [Scheme::SingleFeature, Scheme::LatentHeat { window: 5 }] {
+        for scheme in [
+            Scheme::SingleFeature,
+            Scheme::LatentHeat { window: 5 },
+            Scheme::Hysteresis { enter: 1.3, exit: 0.7 },
+        ] {
             let batch = classify(&matrix, ConstantLoadDetector::new(0.7), 0.9, scheme);
             let mut online =
                 OnlineClassifier::new(ConstantLoadDetector::new(0.7), 0.9, scheme);
             for n in 0..n_int {
-                let out = online.observe(matrix.interval(n));
+                let out = online.observe(&matrix.interval(n).to_pairs());
                 assert_eq!(out.elephants, batch.elephants[n], "{scheme:?} at {n}");
             }
         }
+    }
+
+    #[test]
+    fn exact_retirement_releases_all_state() {
+        // A key idle for a full window must leave zero residue, even
+        // when its rates were chosen to defeat incremental float sums.
+        let mut online = OnlineClassifier::new(
+            ConstantLoadDetector::new(0.8),
+            0.0,
+            Scheme::LatentHeat { window: 3 },
+        );
+        let huge = (1u64 << 55) as f32;
+        online.observe(&[(7, 3.0), (9, huge)]);
+        online.observe(&[(7, huge), (9, 5.0)]);
+        online.observe(&[(7, 1.0)]);
+        assert!(online.tracked_keys() > 0);
+        for _ in 0..3 {
+            online.observe(&[]);
+        }
+        assert_eq!(online.tracked_keys(), 0, "stale window state leaked");
     }
 }

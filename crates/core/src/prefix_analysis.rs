@@ -62,9 +62,7 @@ pub fn prefix_report(
     let mut active: HashSet<KeyId> = HashSet::new();
     let mut elephant: HashSet<KeyId> = HashSet::new();
     for n in window {
-        for &(key, _) in matrix.interval(n) {
-            active.insert(key);
-        }
+        active.extend(matrix.interval(n).keys().iter().copied());
         elephant.extend(result.elephants[n].iter().copied());
     }
 

@@ -2,6 +2,25 @@
 
 use eleph_stats::{aest, AestConfig};
 
+/// Monotone `f64 → u64` mapping under IEEE total order (sign bit
+/// flipped for non-negatives, all bits flipped for negatives):
+/// `sort_key(a) < sort_key(b) ⇔ a < b` for finite values. Sorting the
+/// mapped keys takes the sorter's branchless integer fast path —
+/// substantially faster than sorting `f64`s through `partial_cmp` —
+/// and [`from_sort_key`] recovers the exact value, so detectors built
+/// on it return bit-identical thresholds to a comparator sort.
+#[inline]
+fn sort_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Inverse of [`sort_key`].
+#[inline]
+fn from_sort_key(k: u64) -> f64 {
+    f64::from_bits(k ^ ((((!k as i64) >> 63) as u64) | 0x8000_0000_0000_0000))
+}
+
 /// A rule that derives the elephant/mouse separation bandwidth from one
 /// interval's flow-bandwidth snapshot.
 ///
@@ -74,17 +93,47 @@ impl ThresholdDetector for ConstantLoadDetector {
         if total <= 0.0 {
             return None;
         }
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("bandwidths are finite"));
+        debug_assert!(values.iter().all(|v| v.is_finite()), "bandwidths are finite");
+        let mut keys: Vec<u64> = values.iter().map(|&v| sort_key(v)).collect();
         let target = self.beta * total;
+
+        // The crossing point of the descending cumulative sum usually
+        // sits in the top few percent of a heavy-tailed snapshot, so a
+        // full sort is wasted work: select the top-k multiset (unique
+        // even with boundary ties), sort only it, and scan; grow k and
+        // repeat on the remainder if the target was not reached. The
+        // descending value sequence — and therefore every partial sum
+        // and the returned threshold — is identical to a full sort.
         let mut cum = 0.0;
-        for &v in &sorted {
-            cum += v;
-            if cum >= target {
-                return Some(v);
+        let mut rest: &mut [u64] = &mut keys;
+        let mut k = 256usize;
+        loop {
+            let chunk = std::mem::take(&mut rest);
+            let top: &mut [u64] = if k < chunk.len() {
+                let split = chunk.len() - k;
+                chunk.select_nth_unstable(split);
+                let (low, top) = chunk.split_at_mut(split);
+                rest = low;
+                top
+            } else {
+                chunk
+            };
+            top.sort_unstable();
+            for &key in top.iter().rev() {
+                let v = from_sort_key(key);
+                cum += v;
+                if cum >= target {
+                    return Some(v);
+                }
             }
+            if rest.is_empty() {
+                // Rounding kept the descending sum below β·total: fall
+                // back to the smallest bandwidth, as the full-sort scan
+                // did.
+                return Some(from_sort_key(top[0]));
+            }
+            k *= 8;
         }
-        Some(*sorted.last().expect("non-empty"))
     }
 
     fn name(&self) -> String {
@@ -105,9 +154,12 @@ impl ThresholdDetector for TopNDetector {
         if self.n == 0 || values.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("bandwidths are finite"));
-        Some(sorted[self.n.min(sorted.len()) - 1])
+        debug_assert!(values.iter().all(|v| v.is_finite()), "bandwidths are finite");
+        // The N-th largest is a selection, not a sort: O(len) expected.
+        let mut keys: Vec<u64> = values.iter().map(|&v| sort_key(v)).collect();
+        let idx = keys.len() - self.n.min(keys.len());
+        let (_, k, _) = keys.select_nth_unstable(idx);
+        Some(from_sort_key(*k))
     }
 
     fn name(&self) -> String {
@@ -128,10 +180,11 @@ impl ThresholdDetector for PercentileDetector {
         if values.is_empty() || !(0.0..1.0).contains(&self.q) {
             return None;
         }
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
-        let rank = ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        Some(sorted[rank - 1])
+        debug_assert!(values.iter().all(|v| v.is_finite()), "bandwidths are finite");
+        let mut keys: Vec<u64> = values.iter().map(|&v| sort_key(v)).collect();
+        let rank = ((self.q * keys.len() as f64).ceil() as usize).clamp(1, keys.len());
+        let (_, k, _) = keys.select_nth_unstable(rank - 1);
+        Some(from_sort_key(*k))
     }
 
     fn name(&self) -> String {
@@ -252,6 +305,24 @@ mod tests {
         assert_eq!(PercentileDetector { q: 0.5 }.detect(&values), Some(50.0));
         assert_eq!(PercentileDetector { q: 1.5 }.detect(&values), None);
         assert_eq!(d.detect(&[]), None);
+    }
+
+    #[test]
+    fn sort_key_is_monotone_and_invertible() {
+        let samples = [
+            0.0, -0.0, 1.0, -1.0, 1e-300, -1e-300, 5e-324, 1e308, -1e308, 0.5, 2.0,
+            f64::MAX, f64::MIN, f64::MIN_POSITIVE,
+        ];
+        for &a in &samples {
+            assert_eq!(super::from_sort_key(super::sort_key(a)).to_bits(), a.to_bits());
+            for &b in &samples {
+                assert_eq!(
+                    super::sort_key(a) < super::sort_key(b),
+                    a < b || (a == b && a.is_sign_negative() && b.is_sign_positive()),
+                    "ordering diverges for {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,34 +15,45 @@ use crate::ThresholdDetector;
 #[derive(Debug)]
 pub struct ThresholdTracker<D> {
     detector: D,
+    series: ThresholdSeries,
+}
+
+/// The detector-free half of a [`ThresholdTracker`]: the EWMA update
+/// rule applied to a stream of raw detections.
+///
+/// [`crate::classify_many`] runs one detector over each interval once
+/// and fans the raw detection out to many configurations; each
+/// configuration owns a `ThresholdSeries` (its own γ and histories)
+/// while sharing the detection work.
+#[derive(Debug)]
+pub struct ThresholdSeries {
     ewma: Ewma,
     raw_history: Vec<Option<f64>>,
     smoothed_history: Vec<f64>,
 }
 
-impl<D: ThresholdDetector> ThresholdTracker<D> {
-    /// Create a tracker with smoothing factor γ ∈ [0, 1).
+impl ThresholdSeries {
+    /// Create a series with smoothing factor γ ∈ [0, 1).
     ///
     /// # Panics
     ///
     /// Panics when γ is outside [0, 1).
-    pub fn new(detector: D, gamma: f64) -> Self {
-        ThresholdTracker {
-            detector,
+    pub fn new(gamma: f64) -> Self {
+        ThresholdSeries {
             ewma: Ewma::new(gamma).unwrap_or_else(|e| panic!("invalid gamma: {e}")),
             raw_history: Vec::new(),
             smoothed_history: Vec::new(),
         }
     }
 
-    /// Feed one interval's bandwidth snapshot; returns the smoothed
-    /// threshold `T̄(n)` to classify this interval with.
+    /// Feed one interval's raw detection (`None` = the detector
+    /// abstained); returns the smoothed threshold `T̄(n)`.
     ///
-    /// Before the first successful detection the tracker has no basis for
-    /// a threshold and returns `f64::INFINITY` (nothing classifies as an
-    /// elephant — the conservative choice for a TE application).
-    pub fn observe(&mut self, values: &[f64]) -> f64 {
-        let raw = self.detector.detect(values);
+    /// Before the first successful detection there is no basis for a
+    /// threshold and the series returns `f64::INFINITY` (nothing
+    /// classifies as an elephant — the conservative choice for a TE
+    /// application).
+    pub fn observe_raw(&mut self, raw: Option<f64>) -> f64 {
         self.raw_history.push(raw);
         let smoothed = match raw {
             Some(t) => self.ewma.update(t),
@@ -50,11 +61,6 @@ impl<D: ThresholdDetector> ThresholdTracker<D> {
         };
         self.smoothed_history.push(smoothed);
         smoothed
-    }
-
-    /// The detector's name.
-    pub fn detector_name(&self) -> String {
-        self.detector.name()
     }
 
     /// Raw (pre-smoothing) detections so far; `None` where the detector
@@ -66,6 +72,48 @@ impl<D: ThresholdDetector> ThresholdTracker<D> {
     /// Smoothed thresholds so far.
     pub fn smoothed_history(&self) -> &[f64] {
         &self.smoothed_history
+    }
+
+    /// Consume the series, returning `(raw, smoothed)` histories.
+    pub fn into_histories(self) -> (Vec<Option<f64>>, Vec<f64>) {
+        (self.raw_history, self.smoothed_history)
+    }
+}
+
+impl<D: ThresholdDetector> ThresholdTracker<D> {
+    /// Create a tracker with smoothing factor γ ∈ [0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when γ is outside [0, 1).
+    pub fn new(detector: D, gamma: f64) -> Self {
+        ThresholdTracker {
+            detector,
+            series: ThresholdSeries::new(gamma),
+        }
+    }
+
+    /// Feed one interval's bandwidth snapshot; returns the smoothed
+    /// threshold `T̄(n)` to classify this interval with (see
+    /// [`ThresholdSeries::observe_raw`] for the pre-detection rule).
+    pub fn observe(&mut self, values: &[f64]) -> f64 {
+        self.series.observe_raw(self.detector.detect(values))
+    }
+
+    /// The detector's name.
+    pub fn detector_name(&self) -> String {
+        self.detector.name()
+    }
+
+    /// Raw (pre-smoothing) detections so far; `None` where the detector
+    /// abstained.
+    pub fn raw_history(&self) -> &[Option<f64>] {
+        self.series.raw_history()
+    }
+
+    /// Smoothed thresholds so far.
+    pub fn smoothed_history(&self) -> &[f64] {
+        self.series.smoothed_history()
     }
 }
 

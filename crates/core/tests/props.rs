@@ -1,15 +1,133 @@
 //! Property tests for the classification schemes: the sliding-sum
 //! latent-heat implementation must match the paper's formula computed
-//! naively, and the structural invariants of a classification must hold
-//! on arbitrary bandwidth matrices.
+//! naively, the structural invariants of a classification must hold on
+//! arbitrary bandwidth matrices, the dense columnar engine must agree
+//! with a faithful replica of the legacy hash-map classifier, and
+//! [`eleph_core::classify_many`] must be indistinguishable from
+//! independent [`eleph_core::classify`] calls.
 
 use eleph_core::{
-    classify, holding, ConstantLoadDetector, PercentileDetector, Scheme, ThresholdDetector,
-    TopNDetector,
+    classify, classify_many, holding, ClassifyConfig, ConstantLoadDetector, PercentileDetector,
+    Scheme, ThresholdDetector, TopNDetector,
 };
 use eleph_flow::BandwidthMatrix;
 use eleph_net::Prefix;
 use proptest::prelude::*;
+
+/// A faithful replica of the pre-columnar classifier: `HashMap` sliding
+/// sums, `HashSet` hysteresis membership, per-interval collect + sort,
+/// and the `1e-9` retire epsilon. The equivalence property samples rate
+/// magnitudes where f64 sliding sums are exact and partial sums stay
+/// above the epsilon, so the replica and the dense engine must agree
+/// bit-for-bit; outside that regime the dense engine's exact retire
+/// path is deliberately *better* (see the regression tests below).
+mod legacy {
+    use eleph_core::{Scheme, ThresholdDetector};
+    use eleph_flow::{BandwidthMatrix, KeyId};
+    use std::collections::{HashMap, HashSet};
+
+    pub struct LegacyResult {
+        pub thresholds: Vec<f64>,
+        pub elephants: Vec<Vec<KeyId>>,
+        pub elephant_load: Vec<f64>,
+        pub total_load: Vec<f64>,
+    }
+
+    pub fn classify<D: ThresholdDetector>(
+        matrix: &BandwidthMatrix,
+        detector: D,
+        gamma: f64,
+        scheme: Scheme,
+    ) -> LegacyResult {
+        let mut ewma = eleph_stats::Ewma::new(gamma).expect("valid gamma");
+        let n_int = matrix.n_intervals();
+        let mut thresholds = Vec::with_capacity(n_int);
+        let mut elephants: Vec<Vec<KeyId>> = Vec::with_capacity(n_int);
+        let mut elephant_load = Vec::with_capacity(n_int);
+        let mut total_load = Vec::with_capacity(n_int);
+        let window = match scheme {
+            Scheme::LatentHeat { window } => window,
+            _ => 1,
+        };
+        let mut members: HashSet<KeyId> = HashSet::new();
+        let mut sum_b: HashMap<KeyId, f64> = HashMap::new();
+        let mut sum_t = 0.0f64;
+        let mut t_hist: Vec<f64> = Vec::with_capacity(n_int);
+
+        for n in 0..n_int {
+            let values = matrix.values(n);
+            let threshold = match detector.detect(&values) {
+                Some(t) => ewma.update(t),
+                None => ewma.value().unwrap_or(f64::INFINITY),
+            };
+            thresholds.push(threshold);
+            let t_term = if threshold.is_finite() {
+                threshold
+            } else {
+                values.iter().cloned().fold(0.0, f64::max) + 1.0
+            };
+            sum_t += t_term;
+            t_hist.push(t_term);
+            for (key, rate) in matrix.interval(n).iter() {
+                *sum_b.entry(key).or_insert(0.0) += f64::from(rate);
+            }
+            if n >= window {
+                let retire = n - window;
+                sum_t -= t_hist[retire];
+                for (key, rate) in matrix.interval(retire).iter() {
+                    if let Some(s) = sum_b.get_mut(&key) {
+                        *s -= f64::from(rate);
+                        if *s <= 1e-9 {
+                            sum_b.remove(&key);
+                        }
+                    }
+                }
+            }
+
+            let mut current: Vec<KeyId> = match scheme {
+                Scheme::SingleFeature => matrix
+                    .interval(n)
+                    .iter()
+                    .filter(|&(_, rate)| f64::from(rate) > threshold)
+                    .map(|(key, _)| key)
+                    .collect(),
+                Scheme::LatentHeat { .. } => sum_b
+                    .iter()
+                    .filter(|&(_, &s)| s > sum_t)
+                    .map(|(&key, _)| key)
+                    .collect(),
+                Scheme::Hysteresis { enter, exit } => {
+                    let next: Vec<KeyId> = matrix
+                        .interval(n)
+                        .iter()
+                        .filter(|&(key, rate)| {
+                            let b = f64::from(rate);
+                            if members.contains(&key) {
+                                b >= exit * threshold
+                            } else {
+                                b > enter * threshold
+                            }
+                        })
+                        .map(|(key, _)| key)
+                        .collect();
+                    members = next.iter().copied().collect();
+                    next
+                }
+            };
+            current.sort_unstable();
+            let load: f64 = current.iter().map(|&key| matrix.rate(n, key)).sum();
+            elephant_load.push(load);
+            total_load.push(matrix.total(n));
+            elephants.push(current);
+        }
+        LegacyResult {
+            thresholds,
+            elephants,
+            elephant_load,
+            total_load,
+        }
+    }
+}
 
 /// A fixed-threshold detector isolates classifier logic from detector
 /// logic.
@@ -187,4 +305,118 @@ proptest! {
         let above = values.iter().filter(|&&v| v > t).count();
         prop_assert!(above as f64 <= (1.0 - q) * values.len() as f64 + 1.0);
     }
+
+    #[test]
+    fn dense_classify_matches_legacy_reference(
+        rows in arb_rows(),
+        threshold in 1.0..1200.0f64,
+        window in 1usize..6,
+        enter in 1.0..1.8f64,
+        exit in 0.2..1.0f64,
+        beta in 0.3..0.95f64,
+    ) {
+        let m = matrix(&rows);
+        for scheme in [
+            Scheme::SingleFeature,
+            Scheme::LatentHeat { window },
+            Scheme::Hysteresis { enter, exit },
+        ] {
+            // Fixed threshold isolates the scheme state machines...
+            let dense = classify(&m, Fixed(threshold), 0.0, scheme);
+            let reference = legacy::classify(&m, Fixed(threshold), 0.0, scheme);
+            prop_assert_eq!(&dense.elephants, &reference.elephants, "{:?} fixed", scheme);
+            prop_assert_eq!(&dense.thresholds, &reference.thresholds, "{:?} fixed", scheme);
+            prop_assert_eq!(&dense.elephant_load, &reference.elephant_load, "{:?} fixed", scheme);
+            prop_assert_eq!(&dense.total_load, &reference.total_load, "{:?} fixed", scheme);
+            // ...and a real detector + smoothing exercises the full path.
+            let dense = classify(&m, ConstantLoadDetector::new(beta), 0.9, scheme);
+            let reference = legacy::classify(&m, ConstantLoadDetector::new(beta), 0.9, scheme);
+            prop_assert_eq!(&dense.elephants, &reference.elephants, "{:?} cl", scheme);
+            prop_assert_eq!(&dense.thresholds, &reference.thresholds, "{:?} cl", scheme);
+            prop_assert_eq!(&dense.elephant_load, &reference.elephant_load, "{:?} cl", scheme);
+            prop_assert_eq!(&dense.total_load, &reference.total_load, "{:?} cl", scheme);
+        }
+    }
+
+    #[test]
+    fn classify_many_equals_independent_classifies(
+        rows in arb_rows(),
+        beta in 0.3..0.95f64,
+        gammas in prop::collection::vec(0.0..0.99f64, 1..6),
+        window in 1usize..6,
+    ) {
+        let m = matrix(&rows);
+        // A mixed family: schemes rotate across the sampled γ values, so
+        // one shared pass carries single-feature, latent-heat and
+        // hysteresis state machines side by side.
+        let configs: Vec<ClassifyConfig> = gammas
+            .iter()
+            .enumerate()
+            .map(|(i, &gamma)| ClassifyConfig {
+                gamma,
+                scheme: match i % 3 {
+                    0 => Scheme::SingleFeature,
+                    1 => Scheme::LatentHeat { window },
+                    _ => Scheme::Hysteresis { enter: 1.2, exit: 0.6 },
+                },
+            })
+            .collect();
+        let shared = classify_many(&m, &ConstantLoadDetector::new(beta), &configs);
+        prop_assert_eq!(shared.len(), configs.len());
+        for (config, got) in configs.iter().zip(shared) {
+            let solo = classify(&m, ConstantLoadDetector::new(beta), config.gamma, config.scheme);
+            prop_assert_eq!(&got.detector, &solo.detector);
+            prop_assert_eq!(&got.elephants, &solo.elephants, "{:?}", config);
+            prop_assert_eq!(&got.thresholds, &solo.thresholds, "{:?}", config);
+            prop_assert_eq!(&got.raw_thresholds, &solo.raw_thresholds, "{:?}", config);
+            prop_assert_eq!(&got.elephant_load, &solo.elephant_load, "{:?}", config);
+            prop_assert_eq!(&got.total_load, &solo.total_load, "{:?}", config);
+        }
+    }
+}
+
+#[test]
+fn exact_retire_keeps_epsilon_scale_microflow() {
+    // A micro-flow at the old retire epsilon's scale: active at n = 0
+    // and n = 3 with 5e-10 b/s, latent window 3, threshold 0. At n = 3
+    // the window holds only the fresh activity (n = 0 retires), and the
+    // paper's formula says LH = 5e-10 > 0 → elephant. The legacy hash
+    // state subtracted n = 0's rate, saw the partial sum at 1e-9 or
+    // below, and dropped the *live* key — a misclassification the exact
+    // dense retire path cannot make.
+    let rows = vec![vec![5e-10], vec![0.0], vec![0.0], vec![5e-10], vec![0.0]];
+    let m = matrix(&rows);
+    let r = classify(&m, Fixed(0.0), 0.0, Scheme::LatentHeat { window: 3 });
+    assert!(
+        r.is_elephant(3, 0),
+        "live micro-flow lost at the retire epsilon"
+    );
+}
+
+#[test]
+fn adversarial_magnitudes_leave_no_stale_state() {
+    // Catastrophic-cancellation rates: 2^55 bursts among unit-scale
+    // flows defeat incremental f64 sliding sums (add/subtract round
+    // trips leave residue). Once a key has been idle for a full window
+    // the dense engine resets its sum to literal zero — residue cannot
+    // produce phantom elephants, and a negative mid-window excursion is
+    // clamped rather than carried.
+    let huge = (1u64 << 55) as f64;
+    let rows = vec![
+        vec![huge, 3.0],
+        vec![3.0, huge],
+        vec![1.0, 0.0],
+        vec![0.0, 0.0],
+        vec![0.0, 0.0],
+        vec![0.0, 0.0],
+        vec![0.0, 7.0],
+    ];
+    let m = matrix(&rows);
+    let r = classify(&m, Fixed(0.0), 0.0, Scheme::LatentHeat { window: 3 });
+    // Both keys idle through the window ending at n = 5: no residue.
+    assert!(!r.is_elephant(5, 0), "phantom elephant from stale residue");
+    assert!(!r.is_elephant(5, 1), "phantom elephant from stale residue");
+    assert!(!r.is_elephant(6, 0), "phantom elephant from stale residue");
+    // Key 1 reappears at n = 6: only the fresh activity counts.
+    assert!(r.is_elephant(6, 1), "fresh activity after reset lost");
 }

@@ -6,12 +6,13 @@
 //! average bandwidth `B_i(n)` over each interval is the quantity all
 //! classification operates on.
 //!
-//! * [`BandwidthMatrix`] — the sparse `B_i(n)` matrix keyed by prefix;
-//!   built either from packets (via [`Aggregator`]) or directly from a
-//!   rate-level synthetic trace
-//!   ([`BandwidthMatrix::from_rate_trace`] — same object either way,
-//!   which is what lets the experiments run at rate level while the
-//!   integration tests pin packet-level equivalence);
+//! * [`BandwidthMatrix`] — the `B_i(n)` matrix keyed by prefix, stored
+//!   as a frozen CSR-style columnar structure (one offsets array plus
+//!   parallel key/rate columns, see [`IntervalView`]); built either
+//!   from packets (via [`Aggregator`]) or directly from a rate-level
+//!   synthetic trace ([`BandwidthMatrix::from_rate_trace`] — same
+//!   object either way, which is what lets the experiments run at rate
+//!   level while the integration tests pin packet-level equivalence);
 //! * [`Aggregator`] — streaming packet-to-interval aggregation with full
 //!   accounting ([`AggregatorStats`]): malformed, unroutable and
 //!   out-of-window packets are counted, never silently dropped. The hot
@@ -41,5 +42,5 @@ pub use aggregate::{
     aggregate_pcap, aggregate_pcap_parallel, aggregate_pcap_parallel_frozen, Aggregator,
     AggregatorStats,
 };
-pub use matrix::{BandwidthMatrix, KeyId};
+pub use matrix::{BandwidthMatrix, IntervalView, KeyId};
 pub use window::busiest_window;

@@ -1,4 +1,4 @@
-//! The sparse per-prefix, per-interval bandwidth matrix.
+//! The per-prefix, per-interval bandwidth matrix, stored columnar.
 
 use eleph_net::Prefix;
 use eleph_trace::RateTrace;
@@ -10,19 +10,99 @@ pub type KeyId = u32;
 /// The `B_i(n)` matrix of the paper: for every measurement interval `n`,
 /// the average bandwidth (b/s) of every prefix `i` that saw traffic.
 ///
-/// Stored sparsely: an interval holds a sorted `(KeyId, f32)` list of its
-/// active prefixes. Construction is either packet-driven
-/// ([`crate::Aggregator::finish`]) or rate-driven
-/// ([`BandwidthMatrix::from_rate_trace`]); downstream classification
-/// cannot tell the difference, by design.
+/// Stored as a frozen CSR-style columnar structure: one offsets array
+/// delimits each interval's run inside two parallel columns (key ids and
+/// rates), both sorted by key id within an interval. Compared to the
+/// previous per-interval `Vec<(KeyId, f32)>` boxes this keeps the whole
+/// matrix in three contiguous allocations, so a classification pass is
+/// one linear walk with no pointer chasing, and the key/rate columns can
+/// be consumed independently ([`BandwidthMatrix::values_into`] fills a
+/// caller-owned buffer with an interval's rates — the threshold
+/// detectors' input — without allocating).
+///
+/// Construction is either packet-driven ([`crate::Aggregator::finish`])
+/// or rate-driven ([`BandwidthMatrix::from_rate_trace`]); downstream
+/// classification cannot tell the difference, by design.
 #[derive(Debug, Clone)]
 pub struct BandwidthMatrix {
     interval_secs: u64,
     start_unix: u64,
     keys: Vec<Prefix>,
     index: FxHashMap<Prefix, KeyId>,
-    intervals: Vec<Vec<(KeyId, f32)>>,
+    /// `offsets[n]..offsets[n + 1]` is interval `n`'s run in the columns.
+    offsets: Vec<usize>,
+    /// Active key ids, ascending within each interval run.
+    col_keys: Vec<KeyId>,
+    /// Rates parallel to `col_keys`.
+    col_rates: Vec<f32>,
     totals: Vec<f64>,
+}
+
+/// A borrowed view of one interval's sparse snapshot: the key and rate
+/// columns of the interval's run, ascending by key id.
+///
+/// Equality is entry-wise over `(key, rate)` pairs — two views compare
+/// equal exactly when the old sparse `Vec<(KeyId, f32)>` rows would have.
+#[derive(Clone, Copy)]
+pub struct IntervalView<'a> {
+    keys: &'a [KeyId],
+    rates: &'a [f32],
+}
+
+impl<'a> IntervalView<'a> {
+    /// Active key ids, ascending.
+    pub fn keys(&self) -> &'a [KeyId] {
+        self.keys
+    }
+
+    /// Rates parallel to [`IntervalView::keys`].
+    pub fn rates(&self) -> &'a [f32] {
+        self.rates
+    }
+
+    /// Number of active keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the interval carried no traffic.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterate `(key, rate)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeyId, f32)> + 'a {
+        self.keys.iter().copied().zip(self.rates.iter().copied())
+    }
+
+    /// Materialise the pairs (for APIs that consume owned snapshots).
+    pub fn to_pairs(&self) -> Vec<(KeyId, f32)> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for IntervalView<'a> {
+    type Item = (KeyId, f32);
+    type IntoIter = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, KeyId>>,
+        std::iter::Copied<std::slice::Iter<'a, f32>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter().copied().zip(self.rates.iter().copied())
+    }
+}
+
+impl PartialEq for IntervalView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys && self.rates == other.rates
+    }
+}
+
+impl std::fmt::Debug for IntervalView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
 }
 
 impl BandwidthMatrix {
@@ -42,16 +122,30 @@ impl BandwidthMatrix {
             .enumerate()
             .map(|(i, &p)| (p, i as KeyId))
             .collect();
-        let totals = intervals
-            .iter()
-            .map(|v| v.iter().map(|&(_, r)| f64::from(r)).sum())
-            .collect();
+        let entries: usize = intervals.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(intervals.len() + 1);
+        let mut col_keys = Vec::with_capacity(entries);
+        let mut col_rates = Vec::with_capacity(entries);
+        let mut totals = Vec::with_capacity(intervals.len());
+        offsets.push(0);
+        for row in &intervals {
+            let mut total = 0.0f64;
+            for &(key, rate) in row {
+                col_keys.push(key);
+                col_rates.push(rate);
+                total += f64::from(rate);
+            }
+            offsets.push(col_keys.len());
+            totals.push(total);
+        }
         BandwidthMatrix {
             interval_secs,
             start_unix,
             keys,
             index,
-            intervals,
+            offsets,
+            col_keys,
+            col_rates,
             totals,
         }
     }
@@ -91,30 +185,51 @@ impl BandwidthMatrix {
     ///
     /// This is the fast path the figure experiments use: the rate trace
     /// *is* `B_i(n)` already, only the key space changes (flow id →
-    /// prefix).
+    /// prefix). The trace's interval rows are appended straight into the
+    /// columnar store, no per-interval boxes.
     pub fn from_rate_trace(trace: &RateTrace) -> Self {
         let keys: Vec<Prefix> = trace
             .population
             .iter()
             .map(|(_, meta)| meta.prefix)
             .collect();
-        let intervals: Vec<Vec<(KeyId, f32)>> = (0..trace.n_intervals())
-            .map(|n| {
-                // FlowId and KeyId coincide: population order is key order.
-                trace.interval(n).to_vec()
-            })
+        let index = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as KeyId))
             .collect();
-        Self::from_parts(
-            trace.config.interval_secs,
-            trace.config.start_unix,
+        let n_int = trace.n_intervals();
+        let mut offsets = Vec::with_capacity(n_int + 1);
+        let mut col_keys = Vec::new();
+        let mut col_rates = Vec::new();
+        let mut totals = Vec::with_capacity(n_int);
+        offsets.push(0);
+        for n in 0..n_int {
+            // FlowId and KeyId coincide: population order is key order.
+            let mut total = 0.0f64;
+            for &(key, rate) in trace.interval(n) {
+                col_keys.push(key);
+                col_rates.push(rate);
+                total += f64::from(rate);
+            }
+            offsets.push(col_keys.len());
+            totals.push(total);
+        }
+        BandwidthMatrix {
+            interval_secs: trace.config.interval_secs,
+            start_unix: trace.config.start_unix,
             keys,
-            intervals,
-        )
+            index,
+            offsets,
+            col_keys,
+            col_rates,
+            totals,
+        }
     }
 
     /// Number of intervals.
     pub fn n_intervals(&self) -> usize {
-        self.intervals.len()
+        self.offsets.len() - 1
     }
 
     /// Interval length in seconds (the paper's `T`).
@@ -143,25 +258,151 @@ impl BandwidthMatrix {
     }
 
     /// Sparse snapshot of interval `n`, ascending by key id.
-    pub fn interval(&self, n: usize) -> &[(KeyId, f32)] {
-        &self.intervals[n]
+    pub fn interval(&self, n: usize) -> IntervalView<'_> {
+        let (lo, hi) = (self.offsets[n], self.offsets[n + 1]);
+        IntervalView {
+            keys: &self.col_keys[lo..hi],
+            rates: &self.col_rates[lo..hi],
+        }
     }
 
     /// Bandwidth of key `id` in interval `n` (0.0 when inactive).
     pub fn rate(&self, n: usize, id: KeyId) -> f64 {
-        match self.intervals[n].binary_search_by_key(&id, |&(k, _)| k) {
-            Ok(idx) => f64::from(self.intervals[n][idx].1),
+        let v = self.interval(n);
+        match v.keys.binary_search(&id) {
+            Ok(idx) => f64::from(v.rates[idx]),
             Err(_) => 0.0,
         }
     }
 
     /// All bandwidth values of interval `n` (the threshold detectors'
-    /// input).
+    /// input). Allocates; the classification hot path uses
+    /// [`BandwidthMatrix::values_into`] instead.
     pub fn values(&self, n: usize) -> Vec<f64> {
-        self.intervals[n]
-            .iter()
-            .map(|&(_, r)| f64::from(r))
-            .collect()
+        let mut out = Vec::new();
+        self.values_into(n, &mut out);
+        out
+    }
+
+    /// Fill `out` with interval `n`'s bandwidth values (clearing it
+    /// first). Reusing one buffer across intervals keeps a
+    /// classification pass allocation-free.
+    pub fn values_into(&self, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.interval(n).rates.iter().map(|&r| f64::from(r)));
+    }
+
+    /// Re-measure the same traffic at a coarser interval `T' = factor·T`:
+    /// every `factor` consecutive intervals merge into one, each key's
+    /// coarse rate being the time-average of its fine rates (absent
+    /// slots count as zero), so bytes are conserved exactly. This is the
+    /// paper's §II interval-sensitivity protocol — one traffic process,
+    /// different discretisations — without regenerating the workload.
+    ///
+    /// A trailing partial group still averages over the full coarse
+    /// interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero.
+    pub fn coarsen(&self, factor: usize) -> BandwidthMatrix {
+        assert!(factor >= 1, "coarsening factor must be >= 1");
+        let n_coarse = self.n_intervals().div_ceil(factor);
+        // Dense accumulator + touched list: keys are dense ids.
+        let mut acc: Vec<f64> = vec![0.0; self.n_keys()];
+        let mut touched: Vec<KeyId> = Vec::new();
+        let mut intervals: Vec<Vec<(KeyId, f32)>> = Vec::with_capacity(n_coarse);
+        let inv = 1.0 / factor as f64;
+        for m in 0..n_coarse {
+            for n in (m * factor)..((m + 1) * factor).min(self.n_intervals()) {
+                for (key, rate) in self.interval(n).iter() {
+                    // Skip explicit zero-rate entries: they contribute
+                    // nothing, and the `acc == 0.0` first-touch sentinel
+                    // below would otherwise record the key twice.
+                    if rate == 0.0 {
+                        continue;
+                    }
+                    if acc[key as usize] == 0.0 {
+                        touched.push(key);
+                    }
+                    acc[key as usize] += f64::from(rate);
+                }
+            }
+            touched.sort_unstable();
+            let mut row: Vec<(KeyId, f32)> = Vec::with_capacity(touched.len());
+            for &key in &touched {
+                let rate = (acc[key as usize] * inv) as f32;
+                acc[key as usize] = 0.0;
+                // A subnormal average can round to 0.0 in f32; keep the
+                // "zero = inactive" invariant rather than storing it.
+                if rate > 0.0 {
+                    row.push((key, rate));
+                }
+            }
+            touched.clear();
+            intervals.push(row);
+        }
+        Self::from_parts(
+            self.interval_secs * factor as u64,
+            self.start_unix,
+            self.keys.clone(),
+            intervals,
+        )
+    }
+
+    /// Re-measure the same traffic at a finer interval `T' = T / factor`:
+    /// each interval splits into `factor` sub-slots, a key's sub-rates
+    /// being its rate times bounded mean-one jitter (uniform in
+    /// [0.75, 1.25), normalised so the sub-slots average back to the
+    /// parent rate — bytes are conserved per interval). The jitter is a
+    /// pure hash of `(seed, key, interval, slot)`: deterministic,
+    /// machine-independent, no RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero or does not divide `interval_secs`.
+    pub fn refine(&self, factor: usize, seed: u64) -> BandwidthMatrix {
+        assert!(factor >= 1, "refinement factor must be >= 1");
+        assert!(
+            self.interval_secs % factor as u64 == 0,
+            "refinement factor must divide the interval length"
+        );
+        let mut intervals: Vec<Vec<(KeyId, f32)>> =
+            Vec::with_capacity(self.n_intervals() * factor);
+        let mut factors: Vec<f64> = vec![0.0; factor];
+        for n in 0..self.n_intervals() {
+            let view = self.interval(n);
+            let mut rows: Vec<Vec<(KeyId, f32)>> =
+                (0..factor).map(|_| Vec::with_capacity(view.len())).collect();
+            for (key, rate) in view.iter() {
+                let mut sum = 0.0f64;
+                for (j, f) in factors.iter_mut().enumerate() {
+                    let h = split_hash(
+                        seed ^ (u64::from(key) << 32) ^ ((n as u64) << 8) ^ j as u64,
+                    );
+                    // 53 uniform bits → [0, 1) → bounded jitter [0.75, 1.25).
+                    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    *f = 0.75 + 0.5 * u;
+                    sum += *f;
+                }
+                let norm = factor as f64 / sum;
+                for (j, row) in rows.iter_mut().enumerate() {
+                    let sub = (f64::from(rate) * factors[j] * norm) as f32;
+                    // Keep the "zero = inactive" invariant for subnormal
+                    // parents whose jittered sub-rate rounds to 0.0.
+                    if sub > 0.0 {
+                        row.push((key, sub));
+                    }
+                }
+            }
+            intervals.extend(rows);
+        }
+        Self::from_parts(
+            self.interval_secs / factor as u64,
+            self.start_unix,
+            self.keys.clone(),
+            intervals,
+        )
     }
 
     /// Total bandwidth of interval `n` in b/s.
@@ -171,7 +412,7 @@ impl BandwidthMatrix {
 
     /// Number of active prefixes in interval `n`.
     pub fn active(&self, n: usize) -> usize {
-        self.intervals[n].len()
+        self.offsets[n + 1] - self.offsets[n]
     }
 
     /// Totals across all intervals (for busy-period detection and
@@ -179,6 +420,16 @@ impl BandwidthMatrix {
     pub fn totals(&self) -> &[f64] {
         &self.totals
     }
+}
+
+/// SplitMix64 finaliser: the stateless hash behind
+/// [`BandwidthMatrix::refine`]'s jitter.
+#[inline]
+fn split_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -215,6 +466,36 @@ mod tests {
     }
 
     #[test]
+    fn interval_view_accessors() {
+        let keys = vec![prefix("10.0.0.0/8"), prefix("192.168.0.0/16")];
+        let intervals = vec![vec![(0u32, 100.0f32), (1, 50.0)], vec![]];
+        let m = BandwidthMatrix::from_parts(300, 0, keys, intervals);
+        let v = m.interval(0);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.keys(), &[0, 1]);
+        assert_eq!(v.rates(), &[100.0, 50.0]);
+        assert_eq!(v.to_pairs(), vec![(0, 100.0), (1, 50.0)]);
+        assert_eq!(v, m.interval(0));
+        assert!(m.interval(1).is_empty());
+        assert_ne!(m.interval(0), m.interval(1));
+        let collected: Vec<(KeyId, f32)> = m.interval(0).iter().collect();
+        assert_eq!(collected, vec![(0, 100.0), (1, 50.0)]);
+    }
+
+    #[test]
+    fn values_into_reuses_buffer() {
+        let keys = vec![prefix("10.0.0.0/8"), prefix("192.168.0.0/16")];
+        let intervals = vec![vec![(0u32, 100.0f32), (1, 50.0)], vec![(1, 75.0)]];
+        let m = BandwidthMatrix::from_parts(300, 0, keys, intervals);
+        let mut buf = vec![999.0; 7];
+        m.values_into(0, &mut buf);
+        assert_eq!(buf, vec![100.0, 50.0]);
+        m.values_into(1, &mut buf);
+        assert_eq!(buf, vec![75.0]);
+    }
+
+    #[test]
     fn from_rate_trace_preserves_everything() {
         let table = synth::generate(&SynthConfig {
             n_prefixes: 1_500,
@@ -235,12 +516,76 @@ mod tests {
         for n in 0..m.n_intervals() {
             assert_eq!(m.active(n), trace.active_flows(n));
             assert!((m.total(n) - trace.total(n)).abs() < 1.0);
+            assert_eq!(m.interval(n).to_pairs(), trace.interval(n).to_vec());
             for &(id, r) in trace.interval(n) {
                 let prefix = trace.population.get(id).prefix;
                 let key = m.key_id(prefix).expect("every flow prefix is a key");
                 assert_eq!(m.rate(n, key), f64::from(r));
             }
         }
+    }
+
+    #[test]
+    fn coarsen_conserves_bytes_and_remaps_time() {
+        let keys = vec![prefix("10.0.0.0/8"), prefix("192.168.0.0/16")];
+        // 5 intervals of 60 s; coarsen by 2 → 3 intervals of 120 s (the
+        // last one padded with implicit zeros).
+        let rows = vec![
+            vec![100.0, 0.0],
+            vec![50.0, 40.0],
+            vec![0.0, 60.0],
+            vec![30.0, 0.0],
+            vec![10.0, 0.0],
+        ];
+        let m = BandwidthMatrix::from_dense(60, 500, keys, &rows);
+        let c = m.coarsen(2);
+        assert_eq!(c.n_intervals(), 3);
+        assert_eq!(c.interval_secs(), 120);
+        assert_eq!(c.start_unix(), 500);
+        assert_eq!(c.n_keys(), 2);
+        assert_eq!(c.rate(0, 0), 75.0); // (100 + 50) / 2
+        assert_eq!(c.rate(0, 1), 20.0); // (0 + 40) / 2
+        assert_eq!(c.rate(1, 0), 15.0); // (0 + 30) / 2
+        assert_eq!(c.rate(1, 1), 30.0);
+        assert_eq!(c.rate(2, 0), 5.0); // trailing partial group
+        // Bytes conserve: fine Σ rate·60 == coarse Σ rate·120.
+        let fine: f64 = (0..m.n_intervals()).map(|n| m.total(n) * 60.0).sum();
+        let coarse: f64 = (0..c.n_intervals()).map(|n| c.total(n) * 120.0).sum();
+        assert!((fine - coarse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refine_conserves_interval_means() {
+        let keys = vec![prefix("10.0.0.0/8"), prefix("192.168.0.0/16")];
+        let rows = vec![vec![300.0, 90.0], vec![0.0, 120.0]];
+        let m = BandwidthMatrix::from_dense(300, 0, keys, &rows);
+        let f = m.refine(5, 7);
+        assert_eq!(f.n_intervals(), 10);
+        assert_eq!(f.interval_secs(), 60);
+        for n in 0..m.n_intervals() {
+            for key in 0..2u32 {
+                let parent = m.rate(n, key);
+                let mean: f64 =
+                    (0..5).map(|j| f.rate(n * 5 + j, key)).sum::<f64>() / 5.0;
+                assert!(
+                    (mean - parent).abs() <= parent * 1e-5,
+                    "key {key} interval {n}: mean {mean} vs parent {parent}"
+                );
+                // Jitter actually varies the sub-slots of active keys.
+                if parent > 0.0 {
+                    let distinct: std::collections::HashSet<u64> =
+                        (0..5).map(|j| f.rate(n * 5 + j, key).to_bits()).collect();
+                    assert!(distinct.len() > 1, "no sub-interval variation");
+                }
+            }
+        }
+        // Deterministic in the seed; different seeds differ.
+        let f2 = m.refine(5, 7);
+        let f3 = m.refine(5, 8);
+        for n in 0..f.n_intervals() {
+            assert_eq!(f.interval(n), f2.interval(n));
+        }
+        assert!((0..f.n_intervals()).any(|n| f.interval(n) != f3.interval(n)));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! A3: constant-load beta ablation.
 
-use eleph_report::experiments::{ablation_beta, cli_scale_seed};
+use eleph_report::experiments::{ablation_beta, cli_scale_seed, west_lab};
 
 fn main() -> std::io::Result<()> {
     let (scale, seed) = cli_scale_seed();
-    print!("{}", ablation_beta(scale, seed)?.render());
+    let (scenario, data) = west_lab(scale, seed);
+    print!("{}", ablation_beta(&scenario, &data)?.render());
     Ok(())
 }

@@ -1,9 +1,10 @@
 //! A1: threshold-smoothing (gamma) ablation.
 
-use eleph_report::experiments::{ablation_gamma, cli_scale_seed};
+use eleph_report::experiments::{ablation_gamma, cli_scale_seed, west_lab};
 
 fn main() -> std::io::Result<()> {
     let (scale, seed) = cli_scale_seed();
-    print!("{}", ablation_gamma(scale, seed)?.render());
+    let (scenario, data) = west_lab(scale, seed);
+    print!("{}", ablation_gamma(&scenario, &data)?.render());
     Ok(())
 }

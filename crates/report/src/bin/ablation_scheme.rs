@@ -1,9 +1,10 @@
 //! A4: persistence-mechanism ablation (latent heat vs hysteresis).
 
-use eleph_report::experiments::{ablation_scheme, cli_scale_seed};
+use eleph_report::experiments::{ablation_scheme, cli_scale_seed, west_lab};
 
 fn main() -> std::io::Result<()> {
     let (scale, seed) = cli_scale_seed();
-    print!("{}", ablation_scheme(scale, seed)?.render());
+    let (scenario, data) = west_lab(scale, seed);
+    print!("{}", ablation_scheme(&scenario, &data)?.render());
     Ok(())
 }

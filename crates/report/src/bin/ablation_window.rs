@@ -1,9 +1,10 @@
 //! A2: latent-heat window ablation.
 
-use eleph_report::experiments::{ablation_window, cli_scale_seed};
+use eleph_report::experiments::{ablation_window, cli_scale_seed, west_lab};
 
 fn main() -> std::io::Result<()> {
     let (scale, seed) = cli_scale_seed();
-    print!("{}", ablation_window(scale, seed)?.render());
+    let (scenario, data) = west_lab(scale, seed);
+    print!("{}", ablation_window(&scenario, &data)?.render());
     Ok(())
 }

@@ -1,9 +1,10 @@
 //! Regenerate T1: single-feature volatility (§II in-text numbers).
 
-use eleph_report::experiments::{cli_scale_seed, table1};
+use eleph_report::experiments::{cli_scale_seed, fig1_data, table1};
 
 fn main() -> std::io::Result<()> {
     let (scale, seed) = cli_scale_seed();
-    print!("{}", table1(scale, seed)?.render());
+    let data = fig1_data(scale, seed);
+    print!("{}", table1(&data)?.render());
     Ok(())
 }

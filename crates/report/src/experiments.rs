@@ -219,35 +219,47 @@ pub fn fig1c(data: &Fig1Data) -> std::io::Result<ExperimentOutput> {
 }
 
 /// T1 (§II in-text): single-feature classification is volatile.
-pub fn table1(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
+///
+/// Reuses the scenarios already built for Figure 1 instead of
+/// regenerating both links, and classifies all four single-feature runs
+/// through one [`run_many`] fan-out.
+pub fn table1(data: &Fig1Data) -> std::io::Result<ExperimentOutput> {
     let mut c = Comparison::new();
     let mut rows = Vec::new();
-    for scenario in [Scenario::west(seed).scaled(scale), Scenario::east(seed).scaled(scale)] {
-        let data = scenario.build();
-        for detector in [DetectorKind::ConstantLoad, DetectorKind::Aest] {
-            let result = run(&data.matrix, SchemeSpec::single(detector));
-            let window = scenario.busy_window(&data.matrix);
-            let h = holding::analyze(&result, window, scenario.workload.interval_secs);
-            let label = format!("{} / {}", scenario.name, detector.label());
-            c.row(
-                format!("avg holding time, {label}"),
-                "20-40 min",
-                format!("{} min", fmt(h.mean_avg_minutes())),
-            );
-            c.row(
-                format!("single-interval elephants, {label}"),
-                "> 1000",
-                h.single_interval_flows.to_string(),
-            );
-            rows.push(vec![
-                scenario.name.clone(),
-                detector.label().to_string(),
-                fmt(h.mean_avg_minutes()),
-                h.single_interval_flows.to_string(),
-                fmt(result.mean_count()),
-                fmt(result.mean_fraction()),
-            ]);
-        }
+    // One entry per run: the scenario it classifies and its detector.
+    let setups: [(&(Scenario, ScenarioData), DetectorKind); 4] = [
+        (&data.west, DetectorKind::ConstantLoad),
+        (&data.west, DetectorKind::Aest),
+        (&data.east, DetectorKind::ConstantLoad),
+        (&data.east, DetectorKind::Aest),
+    ];
+    let jobs: Vec<(&eleph_flow::BandwidthMatrix, SchemeSpec)> = setups
+        .iter()
+        .map(|&((_, scen_data), detector)| (&scen_data.matrix, SchemeSpec::single(detector)))
+        .collect();
+    let results = run_many(&jobs);
+    for (&((scenario, scen_data), detector), result) in setups.iter().zip(&results) {
+        let window = scenario.busy_window(&scen_data.matrix);
+        let h = holding::analyze(result, window, scenario.workload.interval_secs);
+        let label = format!("{} / {}", scenario.name, detector.label());
+        c.row(
+            format!("avg holding time, {label}"),
+            "20-40 min",
+            format!("{} min", fmt(h.mean_avg_minutes())),
+        );
+        c.row(
+            format!("single-interval elephants, {label}"),
+            "> 1000",
+            h.single_interval_flows.to_string(),
+        );
+        rows.push(vec![
+            scenario.name.clone(),
+            detector.label().to_string(),
+            fmt(h.mean_avg_minutes()),
+            h.single_interval_flows.to_string(),
+            fmt(result.mean_count()),
+            fmt(result.mean_fraction()),
+        ]);
     }
     let csv = write_csv(
         "table1_single_feature",
@@ -372,24 +384,63 @@ pub fn table3(data: &Fig1Data) -> std::io::Result<ExperimentOutput> {
 }
 
 /// T4 (§II in-text): robustness to the measurement interval T.
+///
+/// One traffic process, three discretisations — the paper's own
+/// protocol. The scenario is built once at its native T = 5 min; the
+/// 1-minute matrix is derived by [`eleph_flow::BandwidthMatrix::refine`]
+/// (byte-conserving sub-interval jitter) and the 30-minute matrix by
+/// [`eleph_flow::BandwidthMatrix::coarsen`] (exact aggregation).
+/// Earlier revisions regenerated a *different random workload per T*,
+/// so the reported spread mixed discretisation sensitivity with
+/// realization noise — and paid three scenario builds. The three
+/// classify+analyze pipelines still fan out across scoped threads.
 pub fn table4(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
+    let scenario = Scenario::west(seed).scaled(scale);
+    let data = scenario.build();
+    let native_t = scenario.workload.interval_secs;
+    // (factor, is_refine) per point: 60 s, native 300 s, 1800 s.
+    let points: [(u64, &str, usize, bool); 3] = [
+        (60, "1 min", (native_t / 60) as usize, true),
+        (native_t, "5 min", 1, false),
+        (1800, "30 min", (1800 / native_t) as usize, false),
+    ];
+    let outcomes: Vec<(eleph_core::ClassificationResult, HoldingStats)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = points
+                .iter()
+                .map(|&(t_secs, _, factor, is_refine)| {
+                    let matrix = &data.matrix;
+                    s.spawn(move || {
+                        let view = if is_refine {
+                            matrix.refine(factor, seed)
+                        } else if factor > 1 {
+                            matrix.coarsen(factor)
+                        } else {
+                            matrix.clone()
+                        };
+                        let result = run(&view, SchemeSpec::paper(DetectorKind::ConstantLoad));
+                        // Keep the busy period at 5 wall-clock hours.
+                        let busy_slots = (5 * 3600 / t_secs) as usize;
+                        let window = eleph_flow::busiest_window(
+                            view.totals(),
+                            busy_slots.min(result.n_intervals()),
+                        )
+                        .expect("window fits");
+                        let h = holding::analyze(&result, window, t_secs);
+                        (result, h)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("T-point pipeline does not panic"))
+                .collect()
+        });
+
     let mut c = Comparison::new();
     let mut rows = Vec::new();
     let mut fractions = Vec::new();
-    for (t_secs, label) in [(60u64, "1 min"), (300, "5 min"), (1800, "30 min")] {
-        let mut scenario = Scenario::west(seed).scaled(scale);
-        // Same wall-clock span, different discretisation.
-        let span = scenario.workload.interval_secs * scenario.workload.n_intervals as u64;
-        scenario.workload.interval_secs = t_secs;
-        scenario.workload.n_intervals = (span / t_secs) as usize;
-        let data = scenario.build();
-        let result = run(&data.matrix, SchemeSpec::paper(DetectorKind::ConstantLoad));
-        // Keep the busy period at 5 wall-clock hours.
-        let busy_slots = (5 * 3600 / t_secs) as usize;
-        let window =
-            eleph_flow::busiest_window(data.matrix.totals(), busy_slots.min(result.n_intervals()))
-                .expect("window fits");
-        let h = holding::analyze(&result, window, t_secs);
+    for (&(_, label, _, _), (result, h)) in points.iter().zip(&outcomes) {
         c.row(
             format!("mean load fraction, T = {label}"),
             "similar across T",
@@ -423,21 +474,44 @@ pub fn table4(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
     })
 }
 
-/// A1 (ablation): how γ affects threshold smoothness and churn.
-pub fn ablation_gamma(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
+/// Build the west-coast scenario once for the sweep experiments — the
+/// four ablations (and any caller-driven sweep) share one build instead
+/// of regenerating the table, trace and matrix per experiment.
+pub fn west_lab(scale: f64, seed: u64) -> (Scenario, ScenarioData) {
     let scenario = Scenario::west(seed).scaled(scale);
     let data = scenario.build();
+    (scenario, data)
+}
+
+/// A1 (ablation): how γ affects threshold smoothness and churn.
+///
+/// All four γ points run as one [`run_many`] group: the constant-load
+/// detection per interval happens once, shared across the sweep.
+pub fn ablation_gamma(
+    scenario: &Scenario,
+    data: &ScenarioData,
+) -> std::io::Result<ExperimentOutput> {
+    let gammas = [0.0, 0.5, 0.9, 0.99];
+    let jobs: Vec<(&eleph_flow::BandwidthMatrix, SchemeSpec)> = gammas
+        .iter()
+        .map(|&gamma| {
+            let spec = SchemeSpec {
+                detector: DetectorKind::ConstantLoad,
+                gamma,
+                scheme: eleph_core::Scheme::LatentHeat {
+                    window: eleph_core::PAPER_LATENT_WINDOW,
+                },
+            };
+            (&data.matrix, spec)
+        })
+        .collect();
+    let results = run_many(&jobs);
+    let _ = scenario; // busy window not needed; kept for signature symmetry
     let mut c = Comparison::new();
     let mut rows = Vec::new();
-    for gamma in [0.0, 0.5, 0.9, 0.99] {
-        let spec = SchemeSpec {
-            detector: DetectorKind::ConstantLoad,
-            gamma,
-            latent_window: Some(eleph_core::PAPER_LATENT_WINDOW),
-        };
-        let result = run(&data.matrix, spec);
+    for (&gamma, result) in gammas.iter().zip(&results) {
         let cv = series_cv(&result.thresholds);
-        let churn: f64 = holding::churn(&result).iter().map(|&x| x as f64).sum::<f64>()
+        let churn: f64 = holding::churn(result).iter().map(|&x| x as f64).sum::<f64>()
             / result.n_intervals() as f64;
         c.row(
             format!("threshold CV, gamma = {gamma}"),
@@ -465,21 +539,29 @@ pub fn ablation_gamma(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput
     })
 }
 
-/// A2 (ablation): latent-heat window sweep.
-pub fn ablation_window(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
-    let scenario = Scenario::west(seed).scaled(scale);
-    let data = scenario.build();
+/// A2 (ablation): latent-heat window sweep, one shared-detection pass.
+pub fn ablation_window(
+    scenario: &Scenario,
+    data: &ScenarioData,
+) -> std::io::Result<ExperimentOutput> {
+    let windows = [1usize, 6, 12, 24];
     let window_range = scenario.busy_window(&data.matrix);
+    let jobs: Vec<(&eleph_flow::BandwidthMatrix, SchemeSpec)> = windows
+        .iter()
+        .map(|&w| {
+            let spec = SchemeSpec {
+                detector: DetectorKind::ConstantLoad,
+                gamma: eleph_core::PAPER_GAMMA,
+                scheme: eleph_core::Scheme::LatentHeat { window: w },
+            };
+            (&data.matrix, spec)
+        })
+        .collect();
+    let results = run_many(&jobs);
     let mut c = Comparison::new();
     let mut rows = Vec::new();
-    for w in [1usize, 6, 12, 24] {
-        let spec = SchemeSpec {
-            detector: DetectorKind::ConstantLoad,
-            gamma: eleph_core::PAPER_GAMMA,
-            latent_window: Some(w),
-        };
-        let result = run(&data.matrix, spec);
-        let h = holding::analyze(&result, window_range.clone(), scenario.workload.interval_secs);
+    for (&w, result) in windows.iter().zip(&results) {
+        let h = holding::analyze(result, window_range.clone(), scenario.workload.interval_secs);
         c.row(
             format!("avg holding, w = {w}"),
             if w == 12 { "paper's choice (~2 h)" } else { "-" },
@@ -507,20 +589,40 @@ pub fn ablation_window(scale: f64, seed: u64) -> std::io::Result<ExperimentOutpu
 }
 
 /// A3 (ablation): constant-load β sweep.
-pub fn ablation_beta(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
-    let scenario = Scenario::west(seed).scaled(scale);
-    let data = scenario.build();
+///
+/// The detector itself changes per point (different β), so there is no
+/// detection work to share — the four classifications run concurrently
+/// on scoped threads over the shared scenario build instead.
+pub fn ablation_beta(
+    _scenario: &Scenario,
+    data: &ScenarioData,
+) -> std::io::Result<ExperimentOutput> {
+    let betas = [0.5, 0.7, 0.8, 0.9];
+    let results: Vec<eleph_core::ClassificationResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = betas
+            .iter()
+            .map(|&beta| {
+                let matrix = &data.matrix;
+                s.spawn(move || {
+                    eleph_core::classify(
+                        matrix,
+                        eleph_core::ConstantLoadDetector::new(beta),
+                        eleph_core::PAPER_GAMMA,
+                        eleph_core::Scheme::LatentHeat {
+                            window: eleph_core::PAPER_LATENT_WINDOW,
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("classification does not panic"))
+            .collect()
+    });
     let mut c = Comparison::new();
     let mut rows = Vec::new();
-    for beta in [0.5, 0.7, 0.8, 0.9] {
-        let result = eleph_core::classify(
-            &data.matrix,
-            eleph_core::ConstantLoadDetector::new(beta),
-            eleph_core::PAPER_GAMMA,
-            eleph_core::Scheme::LatentHeat {
-                window: eleph_core::PAPER_LATENT_WINDOW,
-            },
-        );
+    for (&beta, result) in betas.iter().zip(&results) {
         c.row(
             format!("mean fraction, beta = {beta}"),
             if beta == 0.8 { "~0.6 after latent heat" } else { "-" },
@@ -550,10 +652,11 @@ pub fn ablation_beta(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput>
 /// The paper chose latent heat over simpler persistence mechanisms; this
 /// quantifies the trade-off against the classic two-threshold scheme on
 /// the same workload.
-pub fn ablation_scheme(scale: f64, seed: u64) -> std::io::Result<ExperimentOutput> {
+pub fn ablation_scheme(
+    scenario: &Scenario,
+    data: &ScenarioData,
+) -> std::io::Result<ExperimentOutput> {
     use eleph_core::Scheme;
-    let scenario = Scenario::west(seed).scaled(scale);
-    let data = scenario.build();
     let window_range = scenario.busy_window(&data.matrix);
     let mut c = Comparison::new();
     let mut rows = Vec::new();
@@ -563,15 +666,24 @@ pub fn ablation_scheme(scale: f64, seed: u64) -> std::io::Result<ExperimentOutpu
         ("hysteresis 1.0/0.5", Scheme::Hysteresis { enter: 1.0, exit: 0.5 }),
         ("hysteresis 1.5/0.33", Scheme::Hysteresis { enter: 1.5, exit: 0.33 }),
     ];
-    for (name, scheme) in schemes {
-        let result = eleph_core::classify(
-            &data.matrix,
-            eleph_core::ConstantLoadDetector::new(eleph_core::PAPER_BETA),
-            eleph_core::PAPER_GAMMA,
+    // One shared-detection pass over all four persistence mechanisms:
+    // they differ only in scheme, so the constant-load threshold per
+    // interval is computed once.
+    let configs: Vec<eleph_core::ClassifyConfig> = schemes
+        .iter()
+        .map(|&(_, scheme)| eleph_core::ClassifyConfig {
+            gamma: eleph_core::PAPER_GAMMA,
             scheme,
-        );
-        let h = holding::analyze(&result, window_range.clone(), scenario.workload.interval_secs);
-        let churn: f64 = holding::churn(&result).iter().map(|&x| x as f64).sum::<f64>()
+        })
+        .collect();
+    let results = eleph_core::classify_many(
+        &data.matrix,
+        &eleph_core::ConstantLoadDetector::new(eleph_core::PAPER_BETA),
+        &configs,
+    );
+    for ((name, _), result) in schemes.iter().zip(&results) {
+        let h = holding::analyze(result, window_range.clone(), scenario.workload.interval_secs);
+        let churn: f64 = holding::churn(result).iter().map(|&x| x as f64).sum::<f64>()
             / result.n_intervals() as f64;
         c.row(
             format!("avg holding, {name}"),

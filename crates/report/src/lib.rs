@@ -21,8 +21,8 @@ pub mod experiments;
 use eleph_bgp::synth::SynthConfig;
 use eleph_bgp::BgpTable;
 use eleph_core::{
-    classify, AestDetector, ClassificationResult, ConstantLoadDetector, Scheme, PAPER_BETA,
-    PAPER_GAMMA, PAPER_LATENT_WINDOW,
+    classify, classify_many, AestDetector, ClassificationResult, ClassifyConfig,
+    ConstantLoadDetector, Scheme, PAPER_BETA, PAPER_GAMMA, PAPER_LATENT_WINDOW,
 };
 use eleph_flow::BandwidthMatrix;
 use eleph_trace::{RateTrace, WorkloadConfig};
@@ -131,8 +131,9 @@ pub struct SchemeSpec {
     pub detector: DetectorKind,
     /// EWMA smoothing factor γ.
     pub gamma: f64,
-    /// `None` = single-feature; `Some(w)` = latent heat over w slots.
-    pub latent_window: Option<usize>,
+    /// The classification scheme (single-feature, latent heat, or the
+    /// hysteresis ablation baseline).
+    pub scheme: Scheme,
 }
 
 impl SchemeSpec {
@@ -142,7 +143,9 @@ impl SchemeSpec {
         SchemeSpec {
             detector,
             gamma: PAPER_GAMMA,
-            latent_window: Some(PAPER_LATENT_WINDOW),
+            scheme: Scheme::LatentHeat {
+                window: PAPER_LATENT_WINDOW,
+            },
         }
     }
 
@@ -151,47 +154,92 @@ impl SchemeSpec {
         SchemeSpec {
             detector,
             gamma: PAPER_GAMMA,
-            latent_window: None,
+            scheme: Scheme::SingleFeature,
+        }
+    }
+
+    /// The detector-independent half, for [`eleph_core::classify_many`].
+    pub fn config(&self) -> ClassifyConfig {
+        ClassifyConfig {
+            gamma: self.gamma,
+            scheme: self.scheme,
         }
     }
 
     /// Label like "aest+LH12" for tables.
     pub fn label(&self) -> String {
-        match self.latent_window {
-            Some(w) => format!("{}+LH{}", self.detector.label(), w),
-            None => format!("{} single", self.detector.label()),
+        match self.scheme {
+            Scheme::LatentHeat { window } => format!("{}+LH{}", self.detector.label(), window),
+            Scheme::SingleFeature => format!("{} single", self.detector.label()),
+            Scheme::Hysteresis { enter, exit } => {
+                format!("{} hyst {enter}/{exit}", self.detector.label())
+            }
         }
     }
 }
 
 /// Run a classification configuration over a matrix.
 pub fn run(matrix: &BandwidthMatrix, spec: SchemeSpec) -> ClassificationResult {
-    let scheme = match spec.latent_window {
-        Some(window) => Scheme::LatentHeat { window },
-        None => Scheme::SingleFeature,
-    };
     match spec.detector {
-        DetectorKind::Aest => classify(matrix, AestDetector::new(), spec.gamma, scheme),
+        DetectorKind::Aest => classify(matrix, AestDetector::new(), spec.gamma, spec.scheme),
         DetectorKind::ConstantLoad => classify(
             matrix,
             ConstantLoadDetector::new(PAPER_BETA),
             spec.gamma,
-            scheme,
+            spec.scheme,
         ),
     }
 }
 
-/// Run several configurations in parallel over (possibly different)
-/// matrices, preserving input order.
+/// Run several configurations over (possibly different) matrices,
+/// preserving input order.
+///
+/// Jobs are grouped by (matrix, detector): each group becomes one
+/// [`eleph_core::classify_many`] call, so every configuration in the
+/// group shares the per-interval threshold detection — for a sweep over
+/// γ/window/scheme this is the dominant cost and is paid once. Groups
+/// then fan out across scoped threads.
 pub fn run_many(jobs: &[(&BandwidthMatrix, SchemeSpec)]) -> Vec<ClassificationResult> {
+    // Group by matrix identity + detector kind, preserving first-seen
+    // group order and job order within a group.
+    let mut groups: Vec<((usize, DetectorKind), Vec<usize>)> = Vec::new();
+    for (i, &(matrix, spec)) in jobs.iter().enumerate() {
+        let key = (matrix as *const BandwidthMatrix as usize, spec.detector);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, indices)) => indices.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+
+    let mut out: Vec<Option<ClassificationResult>> = jobs.iter().map(|_| None).collect();
     std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|(m, spec)| s.spawn(move || run(m, *spec)))
-            .collect();
-        handles
+        let handles: Vec<_> = groups
             .into_iter()
-            .map(|h| h.join().expect("classification does not panic"))
-            .collect()
-    })
+            .map(|((_, detector), indices)| {
+                s.spawn(move || {
+                    let matrix = jobs[indices[0]].0;
+                    let configs: Vec<ClassifyConfig> =
+                        indices.iter().map(|&i| jobs[i].1.config()).collect();
+                    let results = match detector {
+                        DetectorKind::Aest => {
+                            classify_many(matrix, &AestDetector::new(), &configs)
+                        }
+                        DetectorKind::ConstantLoad => {
+                            classify_many(matrix, &ConstantLoadDetector::new(PAPER_BETA), &configs)
+                        }
+                    };
+                    (indices, results)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (indices, results) = handle.join().expect("classification does not panic");
+            for (i, result) in indices.into_iter().zip(results) {
+                out[i] = Some(result);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every job belongs to exactly one group"))
+        .collect()
 }

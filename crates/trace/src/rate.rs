@@ -41,10 +41,17 @@ impl RateTrace {
 
     /// Generate with an existing population (used by sweeps that vary
     /// dynamics but keep the flow mix fixed).
+    ///
+    /// Every flow's trajectory comes from its own seeded RNG stream
+    /// (`flow_rng(seed, id, _)`), so flows are generated in parallel
+    /// shards of contiguous id ranges; per-interval rows concatenate in
+    /// shard order and per-interval totals are summed over the stored
+    /// rates in flow-id order. The output is therefore *identical*
+    /// whatever the shard count — still a pure function of
+    /// `(config, population)`.
     pub fn from_population(config: &WorkloadConfig, population: FlowPopulation) -> Self {
         let n_int = config.n_intervals;
-        let mut intervals: Vec<Vec<(FlowId, f32)>> = vec![Vec::new(); n_int];
-        let mut totals = vec![0f64; n_int];
+        let n_flows = population.len();
 
         // Precompute per-interval diurnal levels.
         let levels: Vec<f64> = (0..n_int).map(|n| config.diurnal_level(n)).collect();
@@ -52,71 +59,55 @@ impl RateTrace {
         let burst_dist = Pareto::new(config.burst_min_factor, config.burst_alpha)
             .expect("burst parameters are positive");
 
-        for (id, meta) in population.iter() {
-            let mut rng = flow_rng(config.seed, id, 0xA7E5);
-            let (p_on_peak, mean_on, sigma) = match meta.kind {
-                FlowKind::Heavy => (
-                    config.heavy_on_prob,
-                    config.heavy_mean_on,
-                    config.heavy_jitter_sigma,
-                ),
-                FlowKind::Mouse => (
-                    config.mouse_on_prob,
-                    config.mouse_mean_on,
-                    config.mouse_jitter_sigma,
-                ),
-            };
-            let p_off = 1.0 / mean_on; // P[on → off] per interval
+        // Below ~a quarter-million flow-intervals the spawn overhead is
+        // not worth it; thread count never changes the output.
+        let threads = if n_flows.saturating_mul(n_int) < 250_000 {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+        };
 
-            // Start in the stationary state for interval 0's level.
-            let p_on0 = stationary_on(p_on_peak, levels[0]);
-            let mut on = rng.gen::<f64>() < p_on0;
-
-            for n in 0..n_int {
-                let d = levels[n];
-                // Markov step: target stationary π(d), fixed escape rate.
-                let pi = stationary_on(p_on_peak, d);
-                let p_on_trans = if pi < 1.0 {
-                    (p_off * pi / (1.0 - pi)).min(1.0)
-                } else {
-                    1.0
-                };
-                on = if on {
-                    rng.gen::<f64>() >= p_off
-                } else {
-                    rng.gen::<f64>() < p_on_trans
-                };
-                if !on {
-                    continue;
+        let mut intervals: Vec<Vec<(FlowId, f32)>> = if threads <= 1 {
+            generate_flow_range(config, &population, &levels, &burst_dist, 0..n_flows as FlowId)
+        } else {
+            let chunk = n_flows.div_ceil(threads);
+            let mut shards: Vec<Vec<Vec<(FlowId, f32)>>> = std::thread::scope(|s| {
+                let population = &population;
+                let levels = &levels[..];
+                let burst_dist = &burst_dist;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = (t * chunk).min(n_flows) as FlowId;
+                        let hi = ((t + 1) * chunk).min(n_flows) as FlowId;
+                        s.spawn(move || {
+                            generate_flow_range(config, population, levels, burst_dist, lo..hi)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("flow generation does not panic"))
+                    .collect()
+            });
+            let mut merged = shards.remove(0);
+            for shard in shards {
+                for (row, mut part) in merged.iter_mut().zip(shard) {
+                    row.append(&mut part);
                 }
-
-                let mut rate = meta.base_rate_bps
-                    * d.powf(config.diurnal_rate_exponent)
-                    * unit_mean_jitter(&mut rng, sigma);
-                // Transient bursts model a single application flaring up;
-                // traffic to very short prefixes (< /12) is too aggregated
-                // for one application to move the whole aggregate — which
-                // is the paper's own observation about /8 networks.
-                if meta.kind == FlowKind::Mouse
-                    && meta.prefix.len() >= 12
-                    && rng.gen::<f64>() < config.burst_prob
-                {
-                    let factor = burst_dist.sample(&mut rng).min(config.burst_cap_factor);
-                    rate *= factor;
-                }
-                // Physical cap: a single flow cannot exceed the line rate.
-                rate = rate.min(config.link.capacity_bps);
-
-                intervals[n].push((id, rate as f32));
-                totals[n] += rate;
             }
-        }
+            merged
+        };
+
         // (FlowIds were pushed in ascending order per interval already —
-        // population iteration is ordered — but make the invariant
+        // shard order is flow-id order — but make the invariant
         // explicit.)
         for v in &mut intervals {
             v.sort_unstable_by_key(|&(id, _)| id);
         }
+        let totals: Vec<f64> = intervals
+            .iter()
+            .map(|row| row.iter().map(|&(_, r)| f64::from(r)).sum())
+            .collect();
 
         RateTrace {
             config: config.clone(),
@@ -172,6 +163,109 @@ impl RateTrace {
     pub fn flow_series(&self, flow: FlowId) -> Vec<f64> {
         (0..self.n_intervals()).map(|n| self.rate(n, flow)).collect()
     }
+}
+
+/// Generate the trajectories of one contiguous flow-id range: the
+/// per-shard body of [`RateTrace::from_population`]. Returns the
+/// range's per-interval `(flow, bps)` rows, ascending by flow id.
+fn generate_flow_range(
+    config: &WorkloadConfig,
+    population: &FlowPopulation,
+    levels: &[f64],
+    burst_dist: &Pareto,
+    range: std::ops::Range<FlowId>,
+) -> Vec<Vec<(FlowId, f32)>> {
+    let n_int = config.n_intervals;
+    let mut intervals: Vec<Vec<(FlowId, f32)>> = vec![Vec::new(); n_int];
+
+    // Everything that depends only on (interval, flow kind) is hoisted
+    // out of the flow×interval loop — the diurnal rate factor (a powf)
+    // and the Markov transition probabilities — computed exactly as the
+    // per-flow expressions did, so every flow draws identical values
+    // from an identical RNG stream.
+    let rate_level: Vec<f64> = levels
+        .iter()
+        .map(|&d| d.powf(config.diurnal_rate_exponent))
+        .collect();
+    struct KindPlan {
+        p_on0: f64,
+        p_off: f64,
+        sigma: f64,
+        /// Per interval: P[off → on] targeting the stationary π(d).
+        p_on_trans: Vec<f64>,
+    }
+    let plan = |p_on_peak: f64, mean_on: f64, sigma: f64| -> KindPlan {
+        let p_off = 1.0 / mean_on; // P[on → off] per interval
+        KindPlan {
+            p_on0: stationary_on(p_on_peak, levels.first().copied().unwrap_or(0.0)),
+            p_off,
+            sigma,
+            p_on_trans: levels
+                .iter()
+                .map(|&d| {
+                    let pi = stationary_on(p_on_peak, d);
+                    if pi < 1.0 {
+                        (p_off * pi / (1.0 - pi)).min(1.0)
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        }
+    };
+    let heavy_plan = plan(
+        config.heavy_on_prob,
+        config.heavy_mean_on,
+        config.heavy_jitter_sigma,
+    );
+    let mouse_plan = plan(
+        config.mouse_on_prob,
+        config.mouse_mean_on,
+        config.mouse_jitter_sigma,
+    );
+
+    for id in range {
+        let meta = population.get(id);
+        let mut rng = flow_rng(config.seed, id, 0xA7E5);
+        let plan = match meta.kind {
+            FlowKind::Heavy => &heavy_plan,
+            FlowKind::Mouse => &mouse_plan,
+        };
+        // A mouse behind a sufficiently specific prefix can burst:
+        // transient bursts model a single application flaring up, and
+        // traffic to very short prefixes (< /12) is too aggregated for
+        // one application to move the whole aggregate — the paper's own
+        // observation about /8 networks.
+        let can_burst = meta.kind == FlowKind::Mouse && meta.prefix.len() >= 12;
+
+        // Start in the stationary state for interval 0's level.
+        let mut on = rng.gen::<f64>() < plan.p_on0;
+
+        for n in 0..n_int {
+            // Markov step: target stationary π(d), fixed escape rate.
+            on = if on {
+                rng.gen::<f64>() >= plan.p_off
+            } else {
+                rng.gen::<f64>() < plan.p_on_trans[n]
+            };
+            if !on {
+                continue;
+            }
+
+            let mut rate = meta.base_rate_bps
+                * rate_level[n]
+                * unit_mean_jitter(&mut rng, plan.sigma);
+            if can_burst && rng.gen::<f64>() < config.burst_prob {
+                let factor = burst_dist.sample(&mut rng).min(config.burst_cap_factor);
+                rate *= factor;
+            }
+            // Physical cap: a single flow cannot exceed the line rate.
+            rate = rate.min(config.link.capacity_bps);
+
+            intervals[n].push((id, rate as f32));
+        }
+    }
+    intervals
 }
 
 /// Stationary on-probability at diurnal level `d`: scaled so flows are

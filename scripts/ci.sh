@@ -3,10 +3,15 @@
 # trust it:
 #
 #   1. tier-1: release build + full test suite (see ROADMAP.md);
-#   2. the `prefetch` feature: build and test the feature-gated software
+#   2. classifier equivalence: the dense columnar engine against the
+#      legacy-replica oracle, classify_many against independent
+#      classify runs, and online against batch — the properties that
+#      license every classifier optimisation (already part of tier-1;
+#      re-run by name so a failure is attributed immediately);
+#   3. the `prefetch` feature: build and test the feature-gated software
 #      prefetch paths (net batch lookup, packet scan-ahead, and their
 #      dependents) so the gated code cannot rot unbuilt;
-#   3. bench compilation: the criterion harnesses must at least build.
+#   4. bench compilation: the criterion harnesses must at least build.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -17,6 +22,14 @@ cargo build --release
 
 echo "== tier-1: tests =="
 cargo test -q
+
+echo "== classifier equivalence: dense vs legacy, classify_many vs classify, online vs batch =="
+cargo test -q -p eleph-core --test props -- \
+    dense_classify_matches_legacy_reference \
+    classify_many_equals_independent_classifies \
+    exact_retire_keeps_epsilon_scale_microflow \
+    adversarial_magnitudes_leave_no_stale_state
+cargo test -q -p eleph-core --lib online::
 
 echo "== feature gate: prefetch build =="
 cargo build -p eleph-flow -p eleph-bench --features prefetch

@@ -66,7 +66,7 @@ fn packet_path_reproduces_rate_path() {
     // differ (rate path indexes all population flows, packet path only
     // ever-active prefixes), so join via the prefix.
     for n in 0..trace.n_intervals() {
-        for &(key, rate) in rate_matrix.interval(n) {
+        for (key, rate) in rate_matrix.interval(n) {
             let prefix = rate_matrix.key(key);
             let got = pkt_matrix
                 .key_id(prefix)
@@ -81,7 +81,7 @@ fn packet_path_reproduces_rate_path() {
 
     // And nothing appears on the packet path that the rate path lacks.
     for n in 0..trace.n_intervals() {
-        for &(key, _) in pkt_matrix.interval(n) {
+        for (key, _) in pkt_matrix.interval(n) {
             let prefix = pkt_matrix.key(key);
             let id = rate_matrix.key_id(prefix).expect("prefix came from the population");
             assert!(rate_matrix.rate(n, id) > 0.0, "phantom traffic for {prefix} at {n}");
