@@ -15,6 +15,34 @@ pub fn bench_table(n: usize) -> BgpTable {
     })
 }
 
+/// A deterministic capture for the end-to-end pipeline benches: a
+/// small link's trace serialized as pcap bytes, plus the table and
+/// workload that produced it.
+pub fn bench_capture(
+    n_flows: usize,
+    n_intervals: usize,
+    interval_secs: u64,
+) -> (BgpTable, WorkloadConfig, Vec<u8>) {
+    let table = bench_table(2_000);
+    let config = WorkloadConfig {
+        n_flows,
+        n_intervals,
+        interval_secs,
+        link: eleph_trace::LinkSpec {
+            name: "bench capture".to_string(),
+            capacity_bps: 10_000_000.0,
+            target_peak_util: 0.5,
+        },
+        ..WorkloadConfig::small_test(0xCAF7)
+    };
+    let trace = RateTrace::generate(&config, &table);
+    let mut pcap = Vec::new();
+    eleph_trace::PacketSynth::new(&trace)
+        .write_pcap(0..trace.n_intervals(), &mut pcap)
+        .expect("pcap synthesis");
+    (table, config, pcap)
+}
+
 /// A mid-sized workload trace + matrix (deterministic).
 pub fn bench_matrix(n_flows: usize, n_intervals: usize) -> BandwidthMatrix {
     let table = bench_table((n_flows * 3).max(2_000));

@@ -280,22 +280,30 @@ impl ConfigState {
                 }
             }
             Scheme::LatentHeat { .. } => {
-                let latent = self.latent.as_ref().expect("latent state for latent heat");
-                // Effective window shrinks at the start of the trace.
-                // Both the window bitset and the interval's key column
-                // ascend, so the load join is an ordered two-pointer
-                // merge: elephants inactive this interval contribute
-                // nothing (bit-identical to adding their 0.0 rate).
-                let (keys, rates) = (view.keys(), view.rates());
-                let mut vi = 0usize;
-                for key in latent.in_window.iter() {
-                    if latent.sum[key as usize] > latent.sum_t {
-                        current.push(key);
-                        while vi < keys.len() && keys[vi] < key {
-                            vi += 1;
-                        }
-                        if vi < keys.len() && keys[vi] == key {
-                            load += f64::from(rates[vi]);
+                // A degenerate interval — zero attributed packets — emits
+                // an empty elephant set: with no traffic there is no load
+                // share to apportion, and a streaming monitor must not
+                // keep alerting on stale window state across a capture
+                // gap. (The window itself still slides, so flows resume
+                // their latent-heat standing when traffic returns.)
+                if !view.is_empty() {
+                    let latent = self.latent.as_ref().expect("latent state for latent heat");
+                    // Effective window shrinks at the start of the trace.
+                    // Both the window bitset and the interval's key column
+                    // ascend, so the load join is an ordered two-pointer
+                    // merge: elephants inactive this interval contribute
+                    // nothing (bit-identical to adding their 0.0 rate).
+                    let (keys, rates) = (view.keys(), view.rates());
+                    let mut vi = 0usize;
+                    for key in latent.in_window.iter() {
+                        if latent.sum[key as usize] > latent.sum_t {
+                            current.push(key);
+                            while vi < keys.len() && keys[vi] < key {
+                                vi += 1;
+                            }
+                            if vi < keys.len() && keys[vi] == key {
+                                load += f64::from(rates[vi]);
+                            }
                         }
                     }
                 }
@@ -520,9 +528,13 @@ mod tests {
 
     #[test]
     fn latent_heat_keeps_elephant_through_one_slot_dip() {
-        // Key 0 transmits 100 except a single dip to 0 at n = 3.
+        // Key 0 transmits 100 except a single dip to 0 at n = 3; key 1 is
+        // steady background mice traffic, so the dip interval still
+        // carries packets (an interval with *no* traffic at all is a
+        // capture gap and deliberately emits no elephants — see
+        // `empty_interval_emits_no_elephants`).
         let rows: Vec<Vec<f64>> = (0..8)
-            .map(|n| vec![if n == 3 { 0.0 } else { 100.0 }])
+            .map(|n| vec![if n == 3 { 0.0 } else { 100.0 }, 5.0])
             .collect();
         let m = matrix(&rows);
         let single = classify(&m, Fixed(50.0), 0.0, Scheme::SingleFeature);
@@ -531,6 +543,31 @@ mod tests {
 
         assert!(!single.is_elephant(3, k0), "single feature drops the dip");
         assert!(latent.is_elephant(3, k0), "latent heat must absorb the dip");
+    }
+
+    #[test]
+    fn empty_interval_emits_no_elephants() {
+        // Regression (PR 4): an interval with zero attributed packets —
+        // a capture gap, not a flow dip — reports an empty elephant set
+        // and a 0.0 fraction, even while latent heat stays positive.
+        // Traffic resuming the next interval restores the elephant from
+        // the surviving window state.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|n| {
+                if n == 3 {
+                    vec![0.0, 0.0]
+                } else {
+                    vec![100.0, 5.0]
+                }
+            })
+            .collect();
+        let m = matrix(&rows);
+        let r = classify(&m, Fixed(50.0), 0.0, Scheme::LatentHeat { window: 3 });
+        let k0 = m.key_id(prefix(0)).unwrap();
+        assert_eq!(r.count(3), 0, "capture gap emitted elephants");
+        assert_eq!(r.fraction(3), 0.0);
+        assert!(r.fraction(3).is_finite());
+        assert!(r.is_elephant(4, k0), "elephant lost after the gap");
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
     pub fn observe(&mut self, snapshot: &[(KeyId, f32)]) -> IntervalOutcome {
         debug_assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
         let values: Vec<f64> = snapshot.iter().map(|&(_, r)| f64::from(r)).collect();
-        let total_load: f64 = values.iter().sum();
+        // Fold from +0.0 like the batch matrix's total accumulation —
+        // `Iterator::sum` starts from -0.0, which would make an empty
+        // interval's total bit-differ from the batch path.
+        let total_load: f64 = values.iter().fold(0.0, |s, &v| s + v);
         let threshold = self.tracker.observe(&values);
 
         // Slide the window forward.
@@ -182,13 +185,19 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
                 }
             }
             Scheme::LatentHeat { .. } => {
-                for key in self.in_window.iter() {
-                    if self.sum_b[key as usize] > self.sum_t {
-                        elephants.push(key);
-                        elephant_load += snapshot
-                            .binary_search_by_key(&key, |&(k, _)| k)
-                            .map(|i| f64::from(snapshot[i].1))
-                            .unwrap_or(0.0);
+                // Degenerate interval (zero attributed packets): emit an
+                // empty elephant set instead of alerting on stale window
+                // state — mirrors the batch classifier exactly, so the
+                // online-vs-batch equivalence holds through capture gaps.
+                if !snapshot.is_empty() {
+                    for key in self.in_window.iter() {
+                        if self.sum_b[key as usize] > self.sum_t {
+                            elephants.push(key);
+                            elephant_load += snapshot
+                                .binary_search_by_key(&key, |&(k, _)| k)
+                                .map(|i| f64::from(snapshot[i].1))
+                                .unwrap_or(0.0);
+                        }
                     }
                 }
             }
@@ -396,6 +405,64 @@ mod tests {
                 let out = online.observe(&matrix.interval(n).to_pairs());
                 assert_eq!(out.elephants, batch.elephants[n], "{scheme:?} at {n}");
             }
+        }
+    }
+
+    #[test]
+    fn mid_stream_empty_interval_yields_no_elephants() {
+        // Regression (PR 4): a capture gap mid-stream. The keys' latent
+        // heat stays hugely positive, but an interval with zero
+        // attributed packets must report an empty elephant set and a
+        // 0.0 (not NaN) fraction — and traffic resuming next interval
+        // must restore the elephants from the surviving window state.
+        let mut online = OnlineClassifier::new(
+            ConstantLoadDetector::new(0.8),
+            0.9,
+            Scheme::LatentHeat { window: 4 },
+        );
+        for _ in 0..3 {
+            let out = online.observe(&[(0, 10_000.0), (1, 5_000.0), (2, 100.0)]);
+            assert_eq!(out.elephants, vec![0]);
+        }
+        let gap = online.observe(&[]);
+        assert!(gap.elephants.is_empty(), "stale elephants across a gap");
+        assert_eq!(gap.elephant_load, 0.0);
+        assert_eq!(gap.total_load, 0.0);
+        assert_eq!(gap.fraction(), 0.0, "fraction must be 0, not NaN");
+        assert!(gap.fraction().is_finite());
+        // The window survives the gap: the elephant returns immediately.
+        let back = online.observe(&[(0, 10_000.0), (1, 5_000.0), (2, 100.0)]);
+        assert_eq!(back.elephants, vec![0]);
+    }
+
+    #[test]
+    fn batch_and_online_agree_on_empty_intervals() {
+        // The empty-interval guard must hold identically in both
+        // engines or the streaming pipeline's bit-equivalence breaks.
+        let rows = vec![
+            vec![800.0, 10.0],
+            vec![790.0, 12.0],
+            vec![0.0, 0.0], // capture gap
+            vec![810.0, 11.0],
+        ];
+        let matrix = BandwidthMatrix::from_dense(60, 0, keys(2), &rows);
+        let batch = classify(
+            &matrix,
+            ConstantLoadDetector::new(0.8),
+            0.9,
+            Scheme::LatentHeat { window: 3 },
+        );
+        assert!(batch.elephants[2].is_empty(), "batch emits stale elephants");
+        assert_eq!(batch.fraction(2), 0.0);
+        let mut online = OnlineClassifier::new(
+            ConstantLoadDetector::new(0.8),
+            0.9,
+            Scheme::LatentHeat { window: 3 },
+        );
+        for n in 0..rows.len() {
+            let out = online.observe(&matrix.interval(n).to_pairs());
+            assert_eq!(out.elephants, batch.elephants[n], "interval {n}");
+            assert_eq!(out.threshold.to_bits(), batch.thresholds[n].to_bits());
         }
     }
 

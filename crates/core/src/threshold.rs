@@ -192,6 +192,29 @@ impl ThresholdDetector for PercentileDetector {
     }
 }
 
+/// Forwarding impls so runtime-chosen detectors (`Box<dyn
+/// ThresholdDetector>`) and borrowed detectors plug directly into the
+/// generic classification entry points — no caller-side adapter structs.
+impl<T: ThresholdDetector + ?Sized> ThresholdDetector for Box<T> {
+    fn detect(&self, values: &[f64]) -> Option<f64> {
+        (**self).detect(values)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: ThresholdDetector + ?Sized> ThresholdDetector for &T {
+    fn detect(&self, values: &[f64]) -> Option<f64> {
+        (**self).detect(values)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,6 +91,9 @@ mod legacy {
                     .filter(|&(_, rate)| f64::from(rate) > threshold)
                     .map(|(key, _)| key)
                     .collect(),
+                // The empty-interval guard (PR 4) applies to the replica
+                // too: an interval with no traffic emits no elephants.
+                Scheme::LatentHeat { .. } if matrix.interval(n).is_empty() => Vec::new(),
                 Scheme::LatentHeat { .. } => sum_b
                     .iter()
                     .filter(|&(_, &s)| s > sum_t)
@@ -194,6 +197,13 @@ proptest! {
         let r = classify(&m, Fixed(threshold), 0.0, Scheme::LatentHeat { window });
         for n in 0..rows.len() {
             let lo = n.saturating_sub(window - 1);
+            // A degenerate interval (no active flows at all) short-circuits
+            // to an empty elephant set regardless of latent heat — the
+            // paper's formula governs intervals that carried traffic.
+            if m.interval(n).is_empty() {
+                prop_assert_eq!(r.count(n), 0, "empty interval {} emitted elephants", n);
+                continue;
+            }
             for i in 0..rows[0].len() {
                 let lh: f64 = (lo..=n).map(|j| m.rate(j, i as u32) - threshold).sum();
                 if lh.abs() > 0.01 {

@@ -34,15 +34,106 @@ use eleph_packet::{parse_buf_meta, LinkType, PacketMeta};
 
 use crate::{BandwidthMatrix, KeyId};
 
-/// Sentinel for "route not yet assigned a key".
-const NO_KEY: KeyId = KeyId::MAX;
+/// Sentinel for "route not yet assigned a key" in dense
+/// `RouteId → KeyId` maps. Shared with the streaming pipeline, whose
+/// key assignment must mirror the batch aggregator's exactly.
+pub const NO_KEY: KeyId = KeyId::MAX;
+
+/// Validate a measurement window's configuration and return its hoisted
+/// nanosecond bounds `(start_ns, interval_ns)`.
+///
+/// Shared by the batch [`Aggregator`] and the streaming pipeline so the
+/// two paths cannot drift: both hot paths deliberately trust these
+/// bounds, and a silent wraparound here would mis-bin every packet of a
+/// run (a PR 2 regression in the batch path).
+///
+/// # Panics
+///
+/// Panics when `interval_secs` is zero or either bound overflows `u64`.
+pub fn window_bounds_ns(interval_secs: u64, start_unix: u64) -> (u64, u64) {
+    assert!(interval_secs > 0, "interval must be positive");
+    let start_ns = start_unix
+        .checked_mul(1_000_000_000)
+        .expect("start_unix too large: nanoseconds since the epoch overflow u64");
+    let interval_ns = interval_secs
+        .checked_mul(1_000_000_000)
+        .expect("interval_secs too large: interval length in nanoseconds overflows u64");
+    (start_ns, interval_ns)
+}
 
 /// Packets attributed per batched-lookup call on the chunked paths.
 ///
 /// Large enough that the flat table's stage-1 cache misses overlap
 /// across the whole out-of-order window, small enough that the
 /// destination/route scratch arrays live on the stack.
-const ATTRIBUTION_CHUNK: usize = 64;
+pub const ATTRIBUTION_CHUNK: usize = 64;
+
+/// Batch-resolve `metas`' destinations through the frozen table,
+/// appending one `Option<RouteId>` per packet to `routes` (cleared
+/// first). Lookups issue in [`ATTRIBUTION_CHUNK`]-sized chunks through
+/// [`FrozenBgpTable::attribute_ids`], so every chunk's cache misses
+/// overlap before any result is consumed — the shared stage-1 of both
+/// the batch aggregator and the streaming pipeline (one copy, so the
+/// two paths cannot drift on chunking or issue order).
+pub fn attribute_metas(
+    table: &FrozenBgpTable,
+    metas: &[PacketMeta],
+    routes: &mut Vec<Option<RouteId>>,
+) {
+    routes.clear();
+    routes.reserve(metas.len());
+    let mut dsts = [0u32; ATTRIBUTION_CHUNK];
+    let mut chunk_routes: [Option<RouteId>; ATTRIBUTION_CHUNK] = [None; ATTRIBUTION_CHUNK];
+    for chunk in metas.chunks(ATTRIBUTION_CHUNK) {
+        let n = chunk.len();
+        for (d, m) in dsts[..n].iter_mut().zip(chunk) {
+            *d = u32::from(m.dst);
+        }
+        table.attribute_ids(&dsts[..n], &mut chunk_routes[..n]);
+        routes.extend_from_slice(&chunk_routes[..n]);
+    }
+}
+
+/// Dense first-seen `RouteId → KeyId` assignment, shared by the batch
+/// aggregator and the streaming pipeline.
+///
+/// Key order is the heart of the batch/streaming bit-identity contract:
+/// a key id is allocated the first time an attributed in-window packet
+/// touches its route, in stream order. Keeping the allocator in one
+/// place means a change to that rule cannot reach one path and miss the
+/// other.
+#[derive(Debug)]
+pub struct KeyAllocator {
+    /// [`NO_KEY`] = unassigned.
+    route_to_key: Vec<KeyId>,
+    n_keys: usize,
+}
+
+impl KeyAllocator {
+    /// Allocator over a frozen table's dense route id space.
+    pub fn new(n_routes: usize) -> Self {
+        KeyAllocator {
+            route_to_key: vec![NO_KEY; n_routes],
+            n_keys: 0,
+        }
+    }
+
+    /// The key for `route`, assigning the next dense id on first touch.
+    /// Returns `(key, newly_assigned)` so callers can record their
+    /// per-key metadata (prefix, first-seen position) exactly once.
+    #[inline]
+    pub fn key_for(&mut self, route: RouteId) -> (KeyId, bool) {
+        let slot = &mut self.route_to_key[route as usize];
+        if *slot == NO_KEY {
+            let key = self.n_keys as KeyId;
+            *slot = key;
+            self.n_keys += 1;
+            (key, true)
+        } else {
+            (*slot, false)
+        }
+    }
+}
 
 /// Accounting for every packet offered to an [`Aggregator`].
 ///
@@ -83,20 +174,25 @@ impl AggregatorStats {
     }
 }
 
-/// The frozen table an aggregator attributes against: owned when built
-/// from a live [`BgpTable`], borrowed when shards share one freeze.
+/// A frozen attribution table, owned or borrowed: owned when built
+/// from a live [`BgpTable`], borrowed when several consumers (shard
+/// workers, streaming pipelines) share one freeze. Shared with the
+/// streaming pipeline so both paths hold their table the same way.
 #[derive(Debug)]
-enum TableRef<'t> {
+pub enum FrozenTableRef<'t> {
+    /// Owns its freeze.
     Owned(Box<FrozenBgpTable>),
+    /// Borrows a shared freeze.
     Borrowed(&'t FrozenBgpTable),
 }
 
-impl TableRef<'_> {
+impl FrozenTableRef<'_> {
+    /// The table itself.
     #[inline]
-    fn get(&self) -> &FrozenBgpTable {
+    pub fn get(&self) -> &FrozenBgpTable {
         match self {
-            TableRef::Owned(t) => t,
-            TableRef::Borrowed(t) => t,
+            FrozenTableRef::Owned(t) => t,
+            FrozenTableRef::Borrowed(t) => t,
         }
     }
 }
@@ -104,7 +200,7 @@ impl TableRef<'_> {
 /// Streaming aggregator: packets in, [`BandwidthMatrix`] out.
 #[derive(Debug)]
 pub struct Aggregator<'t> {
-    table: TableRef<'t>,
+    table: FrozenTableRef<'t>,
     interval_secs: u64,
     start_unix: u64,
     n_intervals: usize,
@@ -122,8 +218,10 @@ pub struct Aggregator<'t> {
     /// parallel merge reconstruct global first-seen order from
     /// arbitrarily partitioned shards.
     key_first: Vec<u64>,
-    /// Dense `RouteId → KeyId` map ([`NO_KEY`] = unassigned).
-    route_to_key: Vec<KeyId>,
+    /// Shared first-seen key assignment.
+    keys: KeyAllocator,
+    /// Reusable buffer for [`attribute_metas`] results.
+    route_scratch: Vec<Option<RouteId>>,
     stats: AggregatorStats,
 }
 
@@ -140,7 +238,7 @@ impl<'t> Aggregator<'t> {
         n_intervals: usize,
     ) -> Self {
         Self::build(
-            TableRef::Owned(Box::new(table.freeze())),
+            FrozenTableRef::Owned(Box::new(table.freeze())),
             interval_secs,
             start_unix,
             n_intervals,
@@ -155,7 +253,7 @@ impl<'t> Aggregator<'t> {
         n_intervals: usize,
     ) -> Self {
         Self::build(
-            TableRef::Borrowed(table),
+            FrozenTableRef::Borrowed(table),
             interval_secs,
             start_unix,
             n_intervals,
@@ -163,21 +261,12 @@ impl<'t> Aggregator<'t> {
     }
 
     fn build(
-        table: TableRef<'t>,
+        table: FrozenTableRef<'t>,
         interval_secs: u64,
         start_unix: u64,
         n_intervals: usize,
     ) -> Self {
-        assert!(interval_secs > 0, "interval must be positive");
-        // Reject configurations whose nanosecond bounds do not fit u64
-        // up front: a silent wraparound here would mis-bin every packet
-        // of the run (the hot path deliberately trusts these bounds).
-        let start_ns = start_unix
-            .checked_mul(1_000_000_000)
-            .expect("start_unix too large: nanoseconds since the epoch overflow u64");
-        let interval_ns = interval_secs
-            .checked_mul(1_000_000_000)
-            .expect("interval_secs too large: interval length in nanoseconds overflows u64");
+        let (start_ns, interval_ns) = window_bounds_ns(interval_secs, start_unix);
         let n_routes = table.get().len();
         Aggregator {
             table,
@@ -189,7 +278,8 @@ impl<'t> Aggregator<'t> {
             rows: vec![Vec::new(); n_intervals],
             key_routes: Vec::new(),
             key_first: Vec::new(),
-            route_to_key: vec![NO_KEY; n_routes],
+            keys: KeyAllocator::new(n_routes),
+            route_scratch: Vec::new(),
             stats: AggregatorStats::default(),
         }
     }
@@ -227,24 +317,20 @@ impl<'t> Aggregator<'t> {
 
     /// [`Aggregator::observe_chunk`] with explicit stream positions,
     /// used by shard workers whose packets are a non-contiguous subset
-    /// of the stream. `metas` and `positions` run in parallel and hold
-    /// at most [`ATTRIBUTION_CHUNK`] packets (callers chunk).
+    /// of the stream. `metas` and `positions` run in parallel; any
+    /// length is accepted ([`attribute_metas`] chunks internally).
     fn observe_chunk_at(&mut self, metas: &[PacketMeta], positions: &[u64]) {
         debug_assert_eq!(metas.len(), positions.len());
-        let n = metas.len();
-        let mut dsts = [0u32; ATTRIBUTION_CHUNK];
-        let mut routes: [Option<RouteId>; ATTRIBUTION_CHUNK] = [None; ATTRIBUTION_CHUNK];
-        for (d, m) in dsts[..n].iter_mut().zip(metas) {
-            *d = u32::from(m.dst);
-        }
-        // Batched attribution: every packet's lookup issues before any
-        // packet's result is consumed. Out-of-window packets are
-        // attributed too — their result is simply never read, so the
-        // reject accounting below is unchanged.
-        self.table.get().attribute_ids(&dsts[..n], &mut routes[..n]);
-        for ((meta, &route), &position) in metas.iter().zip(routes[..n].iter()).zip(positions) {
+        // Batched attribution through the shared helper: every chunk's
+        // lookups issue before any result is consumed. Out-of-window
+        // packets are attributed too — their result is simply never
+        // read, so the reject accounting below is unchanged.
+        let mut routes = std::mem::take(&mut self.route_scratch);
+        attribute_metas(self.table.get(), metas, &mut routes);
+        for ((meta, &route), &position) in metas.iter().zip(routes.iter()).zip(positions) {
             self.apply(meta, route, position);
         }
+        self.route_scratch = routes;
     }
 
     /// [`Aggregator::observe`] with an explicit stream position, used
@@ -299,12 +385,10 @@ impl<'t> Aggregator<'t> {
             self.stats.unroutable += 1;
             return;
         };
-        let mut key = self.route_to_key[route as usize];
-        if key == NO_KEY {
-            key = self.key_routes.len() as KeyId;
+        let (key, newly_assigned) = self.keys.key_for(route);
+        if newly_assigned {
             self.key_routes.push(route);
             self.key_first.push(position);
-            self.route_to_key[route as usize] = key;
         }
         let row = &mut self.rows[interval];
         if key as usize >= row.len() {
@@ -435,9 +519,35 @@ pub fn aggregate_pcap<R: Read>(
     start_unix: u64,
     n_intervals: usize,
 ) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
+    aggregate_pcap_with(
+        input,
+        Aggregator::new(table, interval_secs, start_unix, n_intervals),
+    )
+}
+
+/// [`aggregate_pcap`] against an already-frozen table — the serial
+/// steady-state form when one RIB serves many captures (mirrors
+/// [`aggregate_pcap_parallel_frozen`]).
+pub fn aggregate_pcap_frozen<R: Read>(
+    input: R,
+    frozen: &FrozenBgpTable,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: usize,
+) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
+    aggregate_pcap_with(
+        input,
+        Aggregator::with_frozen(frozen, interval_secs, start_unix, n_intervals),
+    )
+}
+
+/// The shared pcap drive loop behind both serial entry points.
+fn aggregate_pcap_with<R: Read>(
+    input: R,
+    mut agg: Aggregator<'_>,
+) -> eleph_packet::Result<(BandwidthMatrix, AggregatorStats)> {
     let mut reader = PcapReader::new(input)?;
     let link = LinkType::from_code(reader.header().linktype)?;
-    let mut agg = Aggregator::new(table, interval_secs, start_unix, n_intervals);
     let mut buf = Vec::new();
     // Decode into meta chunks and batch-attribute them. Stream
     // positions count every record (including malformed ones, which are

@@ -39,8 +39,9 @@ mod matrix;
 mod window;
 
 pub use aggregate::{
-    aggregate_pcap, aggregate_pcap_parallel, aggregate_pcap_parallel_frozen, Aggregator,
-    AggregatorStats,
+    aggregate_pcap, aggregate_pcap_frozen, aggregate_pcap_parallel,
+    aggregate_pcap_parallel_frozen, attribute_metas, window_bounds_ns, Aggregator,
+    AggregatorStats, FrozenTableRef, KeyAllocator, ATTRIBUTION_CHUNK, NO_KEY,
 };
 pub use matrix::{BandwidthMatrix, IntervalView, KeyId};
 pub use window::busiest_window;

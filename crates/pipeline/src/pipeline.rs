@@ -1,0 +1,886 @@
+//! The streaming pipeline proper: chunked attribution, interval
+//! sealing, online classification, sink fan-out.
+
+use std::fmt;
+
+use eleph_bgp::{BgpTable, FrozenBgpTable, RouteId};
+use eleph_core::{
+    ConstantLoadDetector, OnlineClassifier, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
+    PAPER_LATENT_WINDOW,
+};
+use eleph_flow::{attribute_metas, FrozenTableRef, KeyAllocator, KeyId};
+use eleph_net::Prefix;
+use eleph_packet::{LinkType, PacketMeta};
+
+use crate::sink::{SealedInterval, Sink};
+use crate::source::PacketSource;
+
+/// Packet chunks pulled from a [`PacketSource`] are buffered here
+/// before attribution.
+const RUN_BUFFER: usize = 1024;
+
+/// Largest interval gap a single packet may open in *unbounded* mode
+/// (~95 years of 5-minute slots). Every skipped interval is sealed —
+/// classified and delivered to every sink — so without a cap one
+/// structurally-valid record with a corrupt far-future timestamp would
+/// hang the pipeline sealing billions of empty intervals; past the cap
+/// the packet is counted out-of-window instead. Bounded runs are capped
+/// by `n_intervals` already.
+const MAX_UNBOUNDED_GAP: u64 = 10_000_000;
+
+/// How many *consecutive* beyond-the-gap-cap packets an unbounded
+/// pipeline tolerates before failing loudly. Isolated corrupt
+/// timestamps are skipped and forgotten (any in-horizon packet resets
+/// the streak), but a persistent streak means the stream really has
+/// jumped past the supported horizon — silently discarding all further
+/// traffic as out-of-window would be far worse than an error.
+const FAR_FUTURE_TOLERANCE: u32 = 64;
+
+/// Errors a pipeline run can produce.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Structural capture error from the packet source (damaged pcap).
+    Packet(eleph_packet::PacketError),
+    /// A sink failed to accept an interval.
+    Io(std::io::Error),
+    /// An unbounded stream persistently jumped further ahead than
+    /// [`MAX_UNBOUNDED_GAP`] intervals — the monitor cannot seal that
+    /// many empty intervals, and dropping the traffic silently would
+    /// corrupt the measurement. Restart the pipeline with a fresh
+    /// window (or bound it with `n_intervals`).
+    GapExceeded {
+        /// The open (next unsealed) interval when the streak tripped.
+        open: usize,
+        /// The interval index the stream kept asking for.
+        interval: u64,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Packet(e) => write!(f, "packet source error: {e}"),
+            PipelineError::Io(e) => write!(f, "sink error: {e}"),
+            PipelineError::GapExceeded { open, interval } => write!(
+                f,
+                "stream jumped from open interval {open} to interval {interval}, \
+                 past the supported unbounded gap; restart with a fresh window"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<eleph_packet::PacketError> for PipelineError {
+    fn from(e: eleph_packet::PacketError) -> Self {
+        PipelineError::Packet(e)
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// Pipeline result type.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+/// Accounting for every packet offered to a [`Pipeline`]. Identical to
+/// the batch `AggregatorStats` plus `late`: packets whose interval was
+/// already sealed when they arrived (out-of-order input), which a
+/// streaming monitor must reject rather than rewrite history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets attributed to a prefix and binned.
+    pub attributed: u64,
+    /// Bytes attributed.
+    pub attributed_bytes: u64,
+    /// Packets whose destination matched no table entry.
+    pub unroutable: u64,
+    /// Packets timestamped outside the configured window.
+    pub out_of_window: u64,
+    /// Raw packets that failed to parse.
+    pub malformed: u64,
+    /// In-window packets arriving after their interval was sealed.
+    pub late: u64,
+}
+
+impl PipelineStats {
+    /// Conservation check: all offered packets are accounted for.
+    pub fn is_conserved(&self) -> bool {
+        self.attributed + self.unroutable + self.out_of_window + self.malformed + self.late
+            == self.offered
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Packet accounting for the whole run.
+    pub stats: PipelineStats,
+    /// Number of intervals sealed (and emitted to the sinks).
+    pub intervals: usize,
+    /// The key table: `keys[id]` is the prefix behind [`KeyId`] `id`,
+    /// in global first-seen order — the same order the batch
+    /// aggregator's matrix would use.
+    pub keys: Vec<Prefix>,
+}
+
+/// Builder for [`Pipeline`]. Defaults: the paper's headline
+/// configuration (0.8-constant-load detector, γ = 0.9, latent heat over
+/// a 12-slot window), T = 300 s starting at Unix time 0, unbounded
+/// interval count, no sinks.
+///
+/// A routing table ([`PipelineBuilder::table`] or
+/// [`PipelineBuilder::frozen`]) is the one mandatory ingredient.
+pub struct PipelineBuilder<'t, D> {
+    table: Option<FrozenTableRef<'t>>,
+    interval_secs: u64,
+    start_unix: u64,
+    n_intervals: Option<usize>,
+    detector: D,
+    gamma: f64,
+    scheme: Scheme,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Default for PipelineBuilder<'_, ConstantLoadDetector> {
+    fn default() -> Self {
+        PipelineBuilder {
+            table: None,
+            interval_secs: 300,
+            start_unix: 0,
+            n_intervals: None,
+            detector: ConstantLoadDetector::new(PAPER_BETA),
+            gamma: PAPER_GAMMA,
+            scheme: Scheme::LatentHeat {
+                window: PAPER_LATENT_WINDOW,
+            },
+            sinks: Vec::new(),
+        }
+    }
+}
+
+impl PipelineBuilder<'_, ConstantLoadDetector> {
+    /// Start from the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
+    /// Attribute against a read-optimized copy of `table` (frozen
+    /// immediately; the pipeline does not borrow the live table).
+    pub fn table(mut self, table: &BgpTable) -> Self {
+        self.table = Some(FrozenTableRef::Owned(Box::new(table.freeze())));
+        self
+    }
+
+    /// Attribute against an existing freeze (shared across pipelines).
+    pub fn frozen(mut self, table: &'t FrozenBgpTable) -> Self {
+        self.table = Some(FrozenTableRef::Borrowed(table));
+        self
+    }
+
+    /// Measurement interval length in seconds (the paper's T).
+    pub fn interval_secs(mut self, secs: u64) -> Self {
+        self.interval_secs = secs;
+        self
+    }
+
+    /// Unix time of the first interval's start.
+    pub fn start_unix(mut self, start: u64) -> Self {
+        self.start_unix = start;
+        self
+    }
+
+    /// Bound the run to `n` intervals: packets past the window count as
+    /// out-of-window, and [`Pipeline::finish`] seals through interval
+    /// `n − 1` even if the capture ends early — exactly the batch
+    /// aggregator's window semantics.
+    pub fn n_intervals(mut self, n: usize) -> Self {
+        self.n_intervals = Some(n);
+        self
+    }
+
+    /// Remove the interval bound (the default): the pipeline runs for
+    /// as long as the source produces packets, sealing every interval
+    /// the stream crosses.
+    pub fn unbounded(mut self) -> Self {
+        self.n_intervals = None;
+        self
+    }
+
+    /// Use this threshold detector (takes any [`ThresholdDetector`],
+    /// including `Box<dyn ThresholdDetector>` for runtime selection).
+    pub fn detector<E: ThresholdDetector>(self, detector: E) -> PipelineBuilder<'t, E> {
+        PipelineBuilder {
+            table: self.table,
+            interval_secs: self.interval_secs,
+            start_unix: self.start_unix,
+            n_intervals: self.n_intervals,
+            detector,
+            gamma: self.gamma,
+            scheme: self.scheme,
+            sinks: self.sinks,
+        }
+    }
+
+    /// EWMA smoothing factor γ for the threshold update.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Classification scheme (single-feature, latent heat, hysteresis).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Attach a sink; every sealed interval is delivered to all sinks
+    /// in attach order.
+    pub fn sink(mut self, sink: impl Sink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Assemble the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no table was provided, when `interval_secs` is zero,
+    /// or when the window's nanosecond bounds overflow `u64` (the same
+    /// validation as the batch aggregator).
+    pub fn build(self) -> Pipeline<'t, D> {
+        let table = self.table.expect("PipelineBuilder needs a table (.table or .frozen)");
+        // Shared with the batch aggregator so the two paths cannot
+        // drift on window validation.
+        let (start_ns, interval_ns) =
+            eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
+        let n_routes = table.get().len();
+        Pipeline {
+            table,
+            interval_secs: self.interval_secs,
+            secs: self.interval_secs as f64,
+            start_unix: self.start_unix,
+            start_ns,
+            interval_ns,
+            n_intervals: self.n_intervals,
+            classifier: OnlineClassifier::new(self.detector, self.gamma, self.scheme),
+            sinks: self.sinks,
+            key_alloc: KeyAllocator::new(n_routes),
+            route_scratch: Vec::new(),
+            far_future_streak: 0,
+            keys: Vec::new(),
+            row: Vec::new(),
+            touched: Vec::new(),
+            snapshot: Vec::new(),
+            open: 0,
+            stats: PipelineStats::default(),
+        }
+    }
+}
+
+/// The streaming pipeline: feed packets (or [`Pipeline::run`] a whole
+/// [`PacketSource`]), get per-interval classifications at the sinks.
+///
+/// State is bounded by the classifier window plus O(distinct keys):
+/// only the *open* interval's byte row exists at any time — no
+/// full-matrix materialization, whatever the trace length.
+pub struct Pipeline<'t, D: ThresholdDetector> {
+    table: FrozenTableRef<'t>,
+    interval_secs: u64,
+    /// `interval_secs as f64`, hoisted for the seal-path rate division.
+    secs: f64,
+    start_unix: u64,
+    start_ns: u64,
+    interval_ns: u64,
+    n_intervals: Option<usize>,
+    classifier: OnlineClassifier<D>,
+    sinks: Vec<Box<dyn Sink>>,
+    /// Shared first-seen key assignment (the same allocator the batch
+    /// aggregator uses, so the two paths cannot drift on key order).
+    key_alloc: KeyAllocator,
+    /// Reusable buffer for [`attribute_metas`] results.
+    route_scratch: Vec<Option<RouteId>>,
+    /// Consecutive unbounded-mode packets beyond [`MAX_UNBOUNDED_GAP`]
+    /// (see [`FAR_FUTURE_TOLERANCE`]).
+    far_future_streak: u32,
+    /// Prefix of each key, in global first-seen order.
+    keys: Vec<Prefix>,
+    /// Open interval: bytes per key, dense, indexed by [`KeyId`].
+    row: Vec<u64>,
+    /// Keys with nonzero bytes in the open interval (unsorted until
+    /// sealing).
+    touched: Vec<KeyId>,
+    /// Seal-path scratch: the sparse snapshot handed to the classifier.
+    snapshot: Vec<(KeyId, f32)>,
+    /// Index of the open (not yet sealed) interval.
+    open: usize,
+    stats: PipelineStats,
+}
+
+impl<D: ThresholdDetector> Pipeline<'_, D> {
+    /// Observe a chunk of parsed packets (interval-ordered), batching
+    /// attribution through the frozen table exactly like the batch
+    /// aggregator's hot path. Intervals are sealed — classified and
+    /// emitted to the sinks — as packet timestamps cross boundaries.
+    pub fn observe_chunk(&mut self, metas: &[PacketMeta]) -> Result<()> {
+        // Batched resolve through the helper shared with the batch
+        // aggregator (every chunk's lookups issue before any result is
+        // consumed); rejected packets simply never read theirs.
+        let mut routes = std::mem::take(&mut self.route_scratch);
+        attribute_metas(self.table.get(), metas, &mut routes);
+        let result = metas
+            .iter()
+            .zip(routes.iter())
+            .try_for_each(|(meta, &route)| self.apply(meta, route));
+        self.route_scratch = routes;
+        result
+    }
+
+    /// Observe one parsed packet (single-lookup path; rejected packets
+    /// cost no table access).
+    pub fn observe_meta(&mut self, meta: &PacketMeta) -> Result<()> {
+        self.stats.offered += 1;
+        let Some(interval) = self.classify_window(meta.ts_ns)? else {
+            return Ok(());
+        };
+        let route = self.table.get().attribute_id(u32::from(meta.dst));
+        self.advance_and_bin(meta, route, interval)
+    }
+
+    /// Observe one raw packet: parse, then bin; parse failures are
+    /// counted as malformed, never propagated as errors.
+    pub fn observe_raw(&mut self, link: LinkType, data: &[u8], ts_ns: u64) -> Result<()> {
+        match eleph_packet::parse_meta(link, data, ts_ns) {
+            Ok(meta) => self.observe_meta(&meta),
+            Err(_) => {
+                self.stats.offered += 1;
+                self.stats.malformed += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Drain a [`PacketSource`] to exhaustion, folding its malformed
+    /// count into the pipeline's accounting as the stream advances (so
+    /// the accounting stays truthful even when a sink or the source
+    /// errors mid-run).
+    pub fn run<S: PacketSource>(&mut self, mut source: S) -> Result<()> {
+        let mut buf: Vec<PacketMeta> = Vec::with_capacity(RUN_BUFFER);
+        let mut folded: u64 = 0;
+        loop {
+            buf.clear();
+            let pulled = source.next_chunk(&mut buf);
+            let malformed = source.malformed();
+            self.stats.offered += malformed - folded;
+            self.stats.malformed += malformed - folded;
+            folded = malformed;
+            match pulled {
+                Err(e) => return Err(e.into()),
+                Ok(0) => return Ok(()),
+                Ok(_) => self.observe_chunk(&buf)?,
+            }
+        }
+    }
+
+    /// The attribution + sealing tail of the batched path. Check order
+    /// (window before routability) matches the batch aggregator, so a
+    /// doubly-bad packet lands in the same reject bucket.
+    #[inline]
+    fn apply(&mut self, meta: &PacketMeta, route: Option<RouteId>) -> Result<()> {
+        self.stats.offered += 1;
+        let Some(interval) = self.classify_window(meta.ts_ns)? else {
+            return Ok(());
+        };
+        self.advance_and_bin(meta, route, interval)
+    }
+
+    /// Window-check a timestamp: `Ok(Some(n))` for an acceptable
+    /// interval, `Ok(None)` after counting the reject. (`late` covers
+    /// in-window packets whose interval was already sealed.)
+    #[inline]
+    fn classify_window(&mut self, ts_ns: u64) -> Result<Option<usize>> {
+        if ts_ns < self.start_ns {
+            // A before-window packet is still in-horizon evidence the
+            // stream's clock is sane: it must reset the far-future
+            // streak, or interleaved early/corrupt records could trip
+            // [`FAR_FUTURE_TOLERANCE`] without ever being consecutive.
+            self.far_future_streak = 0;
+            self.stats.out_of_window += 1;
+            return Ok(None);
+        }
+        let interval = (ts_ns - self.start_ns) / self.interval_ns;
+        match self.n_intervals {
+            Some(n) => {
+                if interval >= n as u64 {
+                    self.stats.out_of_window += 1;
+                    return Ok(None);
+                }
+            }
+            None => {
+                // See [`MAX_UNBOUNDED_GAP`]; the usize bound guards the
+                // cast on 32-bit targets. An isolated corrupt timestamp
+                // is skipped (out-of-window) and forgotten, but a
+                // persistent streak means the stream genuinely moved
+                // past the horizon: fail loudly instead of silently
+                // discarding all further traffic.
+                if interval.saturating_sub(self.open as u64) > MAX_UNBOUNDED_GAP
+                    || interval > usize::MAX as u64
+                {
+                    self.stats.out_of_window += 1;
+                    self.far_future_streak += 1;
+                    if self.far_future_streak >= FAR_FUTURE_TOLERANCE {
+                        return Err(PipelineError::GapExceeded {
+                            open: self.open,
+                            interval,
+                        });
+                    }
+                    return Ok(None);
+                }
+                self.far_future_streak = 0;
+            }
+        }
+        let interval = interval as usize;
+        if interval < self.open {
+            self.stats.late += 1;
+            return Ok(None);
+        }
+        Ok(Some(interval))
+    }
+
+    /// Seal any intervals the packet skipped past, then bin it.
+    #[inline]
+    fn advance_and_bin(
+        &mut self,
+        meta: &PacketMeta,
+        route: Option<RouteId>,
+        interval: usize,
+    ) -> Result<()> {
+        while self.open < interval {
+            self.seal()?;
+        }
+        let Some(route) = route else {
+            self.stats.unroutable += 1;
+            return Ok(());
+        };
+        let (key, newly_assigned) = self.key_alloc.key_for(route);
+        if newly_assigned {
+            debug_assert_eq!(key as usize, self.keys.len());
+            self.keys.push(self.table.get().prefix(route));
+        }
+        let k = key as usize;
+        if k >= self.row.len() {
+            self.row.resize(k + 1, 0);
+        }
+        let bytes = u64::from(meta.wire_len);
+        // First nonzero bytes for this key this interval: remember it
+        // for the seal scan (zero-length packets are attributed but,
+        // like the batch path, leave no interval entry).
+        if self.row[k] == 0 && bytes > 0 {
+            self.touched.push(key);
+        }
+        self.row[k] += bytes;
+        self.stats.attributed += 1;
+        self.stats.attributed_bytes += bytes;
+        Ok(())
+    }
+
+    /// Seal the open interval: build its sparse snapshot (ascending by
+    /// key id, rates converted with the exact arithmetic of the batch
+    /// matrix), classify, fan out to the sinks, advance.
+    fn seal(&mut self) -> Result<()> {
+        self.touched.sort_unstable();
+        self.snapshot.clear();
+        for &key in &self.touched {
+            let bytes = self.row[key as usize];
+            self.row[key as usize] = 0;
+            debug_assert!(bytes > 0, "touched key with zero bytes");
+            // Identical expression to the batch `matrix_from_rows`, so
+            // the f32 rate is bit-identical.
+            self.snapshot.push((key, (bytes as f64 * 8.0 / self.secs) as f32));
+        }
+        self.touched.clear();
+        let outcome = self.classifier.observe(&self.snapshot);
+        let sealed = SealedInterval {
+            outcome: &outcome,
+            interval_start_unix: self.start_unix + self.open as u64 * self.interval_secs,
+            interval_secs: self.interval_secs,
+            keys: &self.keys,
+        };
+        for sink in &mut self.sinks {
+            sink.on_interval(&sealed)?;
+        }
+        self.open += 1;
+        Ok(())
+    }
+
+    /// Seal the remaining window and flush the sinks.
+    ///
+    /// Bounded pipelines seal every configured interval (trailing
+    /// silence classifies as empty intervals, exactly like the batch
+    /// matrix); unbounded pipelines seal through the last interval that
+    /// attributed traffic.
+    pub fn finish(mut self) -> Result<PipelineReport> {
+        match self.n_intervals {
+            Some(n) => {
+                while self.open < n {
+                    self.seal()?;
+                }
+            }
+            None => {
+                if !self.touched.is_empty() {
+                    self.seal()?;
+                }
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.finish()?;
+        }
+        Ok(PipelineReport {
+            stats: self.stats,
+            intervals: self.open,
+            keys: self.keys,
+        })
+    }
+
+    /// Current packet accounting.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Intervals sealed so far.
+    pub fn intervals_sealed(&self) -> usize {
+        self.open
+    }
+
+    /// The key table so far (global first-seen order).
+    pub fn keys(&self) -> &[Prefix] {
+        &self.keys
+    }
+
+    /// Keys currently holding classifier window state.
+    pub fn tracked_keys(&self) -> usize {
+        self.classifier.tracked_keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Collector;
+    use crate::source::MetaSource;
+    use eleph_bgp::{Origin, PeerClass, RouteEntry};
+    use eleph_core::classify;
+    use eleph_flow::Aggregator;
+    use eleph_packet::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn table() -> BgpTable {
+        BgpTable::from_entries(vec![
+            RouteEntry {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                next_hop: Ipv4Addr::new(192, 0, 2, 1),
+                as_path: vec![1],
+                origin: Origin::Igp,
+                peer_class: PeerClass::Tier1,
+            },
+            RouteEntry {
+                prefix: "10.1.0.0/16".parse().unwrap(),
+                next_hop: Ipv4Addr::new(192, 0, 2, 2),
+                as_path: vec![2],
+                origin: Origin::Igp,
+                peer_class: PeerClass::Tier2,
+            },
+        ])
+    }
+
+    fn meta(dst: [u8; 4], ts_s: u64, len: u32) -> PacketMeta {
+        PacketMeta {
+            ts_ns: ts_s * 1_000_000_000,
+            src: Ipv4Addr::new(198, 18, 0, 1),
+            dst: Ipv4Addr::from(dst),
+            proto: IpProtocol::Tcp,
+            src_port: 1,
+            dst_port: 2,
+            wire_len: len,
+        }
+    }
+
+    /// Mixed stream across 3 intervals: both prefixes, an unroutable
+    /// destination, out-of-window timestamps, and an empty interval 1.
+    fn stream() -> Vec<PacketMeta> {
+        let mut v = vec![
+            meta([10, 1, 0, 1], 1000, 900), // /16 first: key order test
+            meta([10, 2, 0, 1], 1001, 700),
+            meta([11, 0, 0, 1], 1002, 500), // unroutable
+            meta([10, 2, 0, 2], 1009, 100),
+            // interval 1 (1010..1020): silence
+            meta([10, 2, 0, 1], 1021, 400),
+            meta([10, 1, 0, 9], 1029, 300),
+        ];
+        v.insert(0, meta([10, 0, 0, 1], 900, 50)); // before window
+        v.push(meta([10, 0, 0, 1], 1031, 60)); // past window
+        v
+    }
+
+    fn batch_reference(
+        metas: &[PacketMeta],
+        scheme: Scheme,
+    ) -> (eleph_flow::BandwidthMatrix, eleph_core::ClassificationResult) {
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 1000, 3);
+        for m in metas {
+            agg.observe(m);
+        }
+        let (matrix, _) = agg.finish();
+        let result = classify(&matrix, ConstantLoadDetector::new(0.8), 0.9, scheme);
+        (matrix, result)
+    }
+
+    fn run_pipeline(metas: Vec<PacketMeta>, scheme: Scheme) -> (Vec<crate::CollectedInterval>, PipelineReport) {
+        let t = table();
+        let collector = Collector::new();
+        let mut p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(1000)
+            .n_intervals(3)
+            .detector(ConstantLoadDetector::new(0.8))
+            .gamma(0.9)
+            .scheme(scheme)
+            .sink(collector.sink())
+            .build();
+        p.run(MetaSource::new(metas)).expect("run");
+        let report = p.finish().expect("finish");
+        (collector.take(), report)
+    }
+
+    #[test]
+    fn matches_batch_on_mixed_stream() {
+        for scheme in [
+            Scheme::SingleFeature,
+            Scheme::LatentHeat { window: 2 },
+            Scheme::Hysteresis { enter: 1.2, exit: 0.6 },
+        ] {
+            let metas = stream();
+            let (matrix, batch) = batch_reference(&metas, scheme);
+            let (outcomes, report) = run_pipeline(metas, scheme);
+            assert_eq!(outcomes.len(), 3);
+            assert_eq!(report.intervals, 3);
+            // Key table identical to the batch matrix's.
+            assert_eq!(report.keys.len(), matrix.n_keys());
+            for (id, &key) in report.keys.iter().enumerate() {
+                assert_eq!(key, matrix.key(id as KeyId), "{scheme:?} key {id}");
+            }
+            for (n, got) in outcomes.iter().enumerate() {
+                let o = &got.outcome;
+                assert_eq!(o.interval, n);
+                assert_eq!(o.elephants, batch.elephants[n], "{scheme:?} interval {n}");
+                assert_eq!(
+                    o.threshold.to_bits(),
+                    batch.thresholds[n].to_bits(),
+                    "{scheme:?} interval {n} threshold"
+                );
+                assert_eq!(o.elephant_load.to_bits(), batch.elephant_load[n].to_bits());
+                assert_eq!(o.total_load.to_bits(), batch.total_load[n].to_bits());
+                assert_eq!(got.interval_start_unix, 1000 + n as u64 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_batch_aggregator() {
+        let metas = stream();
+        let t = table();
+        let mut agg = Aggregator::new(&t, 10, 1000, 3);
+        for m in &metas {
+            agg.observe(m);
+        }
+        let batch = agg.stats();
+        let (_, report) = run_pipeline(metas, Scheme::SingleFeature);
+        let s = report.stats;
+        assert!(s.is_conserved());
+        assert_eq!(s.late, 0);
+        assert_eq!(s.offered, batch.offered);
+        assert_eq!(s.attributed, batch.attributed);
+        assert_eq!(s.attributed_bytes, batch.attributed_bytes);
+        assert_eq!(s.unroutable, batch.unroutable);
+        assert_eq!(s.out_of_window, batch.out_of_window);
+        assert_eq!(s.malformed, batch.malformed);
+    }
+
+    #[test]
+    fn empty_interval_seals_empty_outcome() {
+        let (outcomes, _) = run_pipeline(stream(), Scheme::LatentHeat { window: 2 });
+        let gap = &outcomes[1].outcome;
+        assert!(gap.elephants.is_empty(), "gap interval emitted elephants");
+        assert_eq!(gap.total_load, 0.0);
+        assert_eq!(gap.fraction(), 0.0);
+        assert!(gap.fraction().is_finite());
+    }
+
+    #[test]
+    fn late_packets_are_counted_not_binned() {
+        let t = table();
+        let mut p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(1000)
+            .n_intervals(3)
+            .build();
+        p.observe_meta(&meta([10, 2, 0, 1], 1001, 100)).unwrap();
+        p.observe_meta(&meta([10, 2, 0, 1], 1025, 100)).unwrap(); // seals 0, 1
+        p.observe_meta(&meta([10, 2, 0, 1], 1005, 100)).unwrap(); // late
+        let stats = p.stats();
+        assert_eq!(stats.late, 1);
+        assert_eq!(stats.attributed, 2);
+        assert!(stats.is_conserved());
+        assert_eq!(p.intervals_sealed(), 2);
+    }
+
+    #[test]
+    fn unbounded_seals_through_last_traffic() {
+        let t = table();
+        let collector = Collector::new();
+        let mut p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(0)
+            .sink(collector.sink())
+            .build();
+        p.observe_meta(&meta([10, 2, 0, 1], 5, 100)).unwrap();
+        p.observe_meta(&meta([10, 2, 0, 1], 75, 100)).unwrap(); // interval 7
+        let report = p.finish().unwrap();
+        assert_eq!(report.intervals, 8);
+        assert_eq!(collector.len(), 8);
+    }
+
+    #[test]
+    fn empty_run_bounded_seals_all_intervals() {
+        let t = table();
+        let collector = Collector::new();
+        let p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(0)
+            .n_intervals(4)
+            .sink(collector.sink())
+            .build();
+        let report = p.finish().unwrap();
+        assert_eq!(report.intervals, 4);
+        assert_eq!(collector.len(), 4);
+        for c in collector.take() {
+            assert!(c.outcome.elephants.is_empty());
+            assert_eq!(c.outcome.fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn unbounded_caps_gap_from_corrupt_timestamp() {
+        // Regression: one structurally-valid record with a far-future
+        // timestamp must not force sealing millions of empty intervals
+        // in unbounded mode — it is counted out-of-window instead, and
+        // the stream continues normally afterwards.
+        let t = table();
+        let mut p = PipelineBuilder::new().table(&t).interval_secs(10).start_unix(0).build();
+        p.observe_meta(&meta([10, 2, 0, 1], 5, 100)).unwrap();
+        p.observe_meta(&meta([10, 2, 0, 1], u64::MAX / 1_000_000_000 - 1, 100)).unwrap();
+        p.observe_meta(&meta([10, 2, 0, 1], 15, 100)).unwrap(); // still interval 1
+        let stats = p.stats();
+        assert_eq!(stats.out_of_window, 1);
+        assert_eq!(stats.attributed, 2);
+        assert!(stats.is_conserved());
+        let report = p.finish().unwrap();
+        assert_eq!(report.intervals, 2);
+    }
+
+    #[test]
+    fn persistent_far_future_stream_errors_loudly() {
+        // Regression: a stream that genuinely jumped past the unbounded
+        // gap horizon must error after a bounded number of rejects, not
+        // silently discard all further traffic as out-of-window.
+        let t = table();
+        let mut p = PipelineBuilder::new().table(&t).interval_secs(10).start_unix(0).build();
+        p.observe_meta(&meta([10, 2, 0, 1], 5, 100)).unwrap();
+        let far = u64::MAX / 1_000_000_000 - 1;
+        let mut tripped = None;
+        for i in 0..200 {
+            if let Err(e) = p.observe_meta(&meta([10, 2, 0, 1], far, 100)) {
+                tripped = Some((i, e));
+                break;
+            }
+        }
+        let (after, err) = tripped.expect("persistent far-future stream must error");
+        assert!(after < 100, "error should trip within the tolerance streak");
+        assert!(matches!(err, PipelineError::GapExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_run_unbounded_seals_nothing() {
+        let t = table();
+        let p = PipelineBuilder::new().table(&t).interval_secs(10).build();
+        let report = p.finish().unwrap();
+        assert_eq!(report.intervals, 0);
+        assert!(report.keys.is_empty());
+    }
+
+    #[test]
+    fn observe_raw_counts_malformed() {
+        let t = table();
+        let mut p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(0)
+            .n_intervals(1)
+            .build();
+        p.observe_raw(LinkType::RawIp, &[0xFF; 6], 5_000_000_000).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.malformed, 1);
+        assert!(stats.is_conserved());
+    }
+
+    /// A `Write` target the test can read back after the pipeline
+    /// (which requires `'static` sinks) is finished.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn multi_sink_fan_out_delivers_to_all() {
+        let t = table();
+        let a = Collector::new();
+        let b = Collector::new();
+        let jsonl = SharedBuf::default();
+        let mut p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(1000)
+            .n_intervals(2)
+            .sink(a.sink())
+            .sink(crate::JsonlSink::new(jsonl.clone()))
+            .sink(b.sink())
+            .build();
+        p.observe_meta(&meta([10, 2, 0, 1], 1001, 100)).unwrap();
+        p.finish().unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        let text = String::from_utf8(jsonl.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().next().unwrap().contains("\"interval\":0"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Interval sinks: where sealed classifications go.
+//!
+//! A [`crate::Pipeline`] fans every sealed interval out to all attached
+//! sinks in attach order, synchronously — there is no queue to back up,
+//! so a slow sink simply paces the run (backpressure-free in the sense
+//! that no buffering layer can overflow between the pipeline and its
+//! consumers).
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use eleph_core::IntervalOutcome;
+use eleph_flow::KeyId;
+use eleph_net::Prefix;
+
+/// One sealed measurement interval, borrowed from the pipeline at
+/// emission time.
+#[derive(Debug, Clone, Copy)]
+pub struct SealedInterval<'a> {
+    /// The classification outcome (threshold, elephants, loads).
+    pub outcome: &'a IntervalOutcome,
+    /// Unix time at which this interval starts.
+    pub interval_start_unix: u64,
+    /// Interval length in seconds (the paper's T).
+    pub interval_secs: u64,
+    /// The pipeline's key table so far: `keys[id]` is the prefix behind
+    /// [`KeyId`] `id`. Elephant ids index into this slice.
+    pub keys: &'a [Prefix],
+}
+
+impl SealedInterval<'_> {
+    /// The elephants as `(key id, prefix)` pairs, ascending by key id.
+    pub fn elephants(&self) -> impl Iterator<Item = (KeyId, Prefix)> + '_ {
+        self.outcome
+            .elephants
+            .iter()
+            .map(|&key| (key, self.keys[key as usize]))
+    }
+}
+
+/// A consumer of sealed intervals.
+pub trait Sink {
+    /// Called once per sealed interval, in interval order.
+    fn on_interval(&mut self, sealed: &SealedInterval<'_>) -> io::Result<()>;
+
+    /// Called once when the pipeline finishes; flush buffers here.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Adapts a closure into a [`Sink`] — the zero-ceremony way to react to
+/// intervals (early elephant alerts, live dashboards, counters).
+pub struct CallbackSink<F: FnMut(&SealedInterval<'_>)> {
+    callback: F,
+}
+
+impl<F: FnMut(&SealedInterval<'_>)> CallbackSink<F> {
+    /// Wrap a closure.
+    pub fn new(callback: F) -> Self {
+        CallbackSink { callback }
+    }
+}
+
+impl<F: FnMut(&SealedInterval<'_>)> Sink for CallbackSink<F> {
+    fn on_interval(&mut self, sealed: &SealedInterval<'_>) -> io::Result<()> {
+        (self.callback)(sealed);
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per sealed interval (JSON Lines).
+///
+/// Fields: `interval`, `start_unix`, `interval_secs`, `threshold`
+/// (`null` while the detector has not yet produced a finite smoothed
+/// threshold), `elephants` (prefix strings, ascending by key id),
+/// `elephant_load`, `total_load`, `fraction`.
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Emit JSONL to `out`. Wrap in a `BufWriter` for file targets.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+/// JSON number formatting: finite floats print via Rust's shortest
+/// round-trip `Display`; non-finite values (the pre-detection infinite
+/// threshold) become `null`.
+fn json_num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn on_interval(&mut self, sealed: &SealedInterval<'_>) -> io::Result<()> {
+        let o = sealed.outcome;
+        write!(
+            self.out,
+            "{{\"interval\":{},\"start_unix\":{},\"interval_secs\":{},\"threshold\":{},\"elephants\":[",
+            o.interval,
+            sealed.interval_start_unix,
+            sealed.interval_secs,
+            json_num(o.threshold),
+        )?;
+        for (i, (_, prefix)) in sealed.elephants().enumerate() {
+            if i > 0 {
+                self.out.write_all(b",")?;
+            }
+            write!(self.out, "\"{prefix}\"")?;
+        }
+        writeln!(
+            self.out,
+            "],\"elephant_load\":{},\"total_load\":{},\"fraction\":{}}}",
+            json_num(o.elephant_load),
+            json_num(o.total_load),
+            json_num(o.fraction()),
+        )
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// One interval collected by a [`Collector`].
+#[derive(Debug, Clone)]
+pub struct CollectedInterval {
+    /// Unix time at which the interval starts.
+    pub interval_start_unix: u64,
+    /// The classification outcome.
+    pub outcome: IntervalOutcome,
+}
+
+/// Shared handle to in-memory collected intervals. Create one with
+/// [`Collector::new`], attach [`Collector::sink`] to the pipeline, and
+/// read the results back after [`crate::Pipeline::finish`].
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    inner: Arc<Mutex<Vec<CollectedInterval>>>,
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that appends every sealed interval to this collector.
+    pub fn sink(&self) -> CollectorSink {
+        CollectorSink {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Take the collected intervals, leaving the collector empty.
+    pub fn take(&self) -> Vec<CollectedInterval> {
+        std::mem::take(&mut *self.inner.lock().expect("collector lock"))
+    }
+
+    /// Number of intervals collected so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("collector lock").len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The [`Sink`] half of a [`Collector`].
+#[derive(Debug)]
+pub struct CollectorSink {
+    inner: Arc<Mutex<Vec<CollectedInterval>>>,
+}
+
+impl Sink for CollectorSink {
+    fn on_interval(&mut self, sealed: &SealedInterval<'_>) -> io::Result<()> {
+        self.inner
+            .lock()
+            .expect("collector lock")
+            .push(CollectedInterval {
+                interval_start_unix: sealed.interval_start_unix,
+                outcome: sealed.outcome.clone(),
+            });
+        Ok(())
+    }
+}

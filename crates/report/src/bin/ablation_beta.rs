@@ -1,10 +1,9 @@
 //! A3: constant-load beta ablation.
-
-use eleph_report::experiments::{ablation_beta, cli_scale_seed, west_lab};
+//!
+//! Deprecated shim over `eleph` (one release of compatibility): the
+//! experiment now lives behind `eleph_report::cli`; this binary
+//! forwards there so its output stays byte-identical.
 
 fn main() -> std::io::Result<()> {
-    let (scale, seed) = cli_scale_seed();
-    let (scenario, data) = west_lab(scale, seed);
-    print!("{}", ablation_beta(&scenario, &data)?.render());
-    Ok(())
+    eleph_report::cli::legacy_shim("ablation_beta")
 }

@@ -1,10 +1,9 @@
 //! A4: persistence-mechanism ablation (latent heat vs hysteresis).
-
-use eleph_report::experiments::{ablation_scheme, cli_scale_seed, west_lab};
+//!
+//! Deprecated shim over `eleph` (one release of compatibility): the
+//! experiment now lives behind `eleph_report::cli`; this binary
+//! forwards there so its output stays byte-identical.
 
 fn main() -> std::io::Result<()> {
-    let (scale, seed) = cli_scale_seed();
-    let (scenario, data) = west_lab(scale, seed);
-    print!("{}", ablation_scheme(&scenario, &data)?.render());
-    Ok(())
+    eleph_report::cli::legacy_shim("ablation_scheme")
 }

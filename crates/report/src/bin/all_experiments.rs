@@ -1,33 +1,9 @@
 //! Run every experiment in sequence (the full EXPERIMENTS.md refresh).
 //!
-//! Expensive inputs are built once and shared: the Figure 1 dataset
-//! feeds the three panels plus tables 1-3, and one west-coast lab build
-//! feeds all four ablations.
-
-use eleph_report::experiments::*;
+//! Deprecated shim over `eleph` (one release of compatibility): the
+//! experiment now lives behind `eleph_report::cli`; this binary
+//! forwards there so its output stays byte-identical.
 
 fn main() -> std::io::Result<()> {
-    let (scale, seed) = cli_scale_seed();
-    let data = fig1_data(scale, seed);
-    for out in [
-        fig1a(&data)?,
-        fig1b(&data)?,
-        fig1c(&data)?,
-        table1(&data)?,
-        table2(&data)?,
-        table3(&data)?,
-    ] {
-        println!("{}", out.render());
-    }
-    println!("{}", table4(scale, seed)?.render());
-    let (scenario, lab) = west_lab(scale, seed);
-    for out in [
-        ablation_gamma(&scenario, &lab)?,
-        ablation_window(&scenario, &lab)?,
-        ablation_beta(&scenario, &lab)?,
-        ablation_scheme(&scenario, &lab)?,
-    ] {
-        println!("{}", out.render());
-    }
-    Ok(())
+    eleph_report::cli::legacy_shim("all")
 }

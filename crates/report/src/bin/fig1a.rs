@@ -1,10 +1,9 @@
 //! Regenerate Figure 1(a): number of elephants per 5-minute interval.
-
-use eleph_report::experiments::{cli_scale_seed, fig1_data, fig1a};
+//!
+//! Deprecated shim over `eleph` (one release of compatibility): the
+//! experiment now lives behind `eleph_report::cli`; this binary
+//! forwards there so its output stays byte-identical.
 
 fn main() -> std::io::Result<()> {
-    let (scale, seed) = cli_scale_seed();
-    let data = fig1_data(scale, seed);
-    print!("{}", fig1a(&data)?.render());
-    Ok(())
+    eleph_report::cli::legacy_shim("fig1a")
 }

@@ -1,10 +1,9 @@
 //! Regenerate T3: prefix-length analysis (§III in-text numbers).
-
-use eleph_report::experiments::{cli_scale_seed, fig1_data, table3};
+//!
+//! Deprecated shim over `eleph` (one release of compatibility): the
+//! experiment now lives behind `eleph_report::cli`; this binary
+//! forwards there so its output stays byte-identical.
 
 fn main() -> std::io::Result<()> {
-    let (scale, seed) = cli_scale_seed();
-    let data = fig1_data(scale, seed);
-    print!("{}", table3(&data)?.render());
-    Ok(())
+    eleph_report::cli::legacy_shim("table3")
 }

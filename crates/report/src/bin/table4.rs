@@ -1,9 +1,9 @@
 //! Regenerate T4: sensitivity to the measurement interval T (§II).
-
-use eleph_report::experiments::{cli_scale_seed, table4};
+//!
+//! Deprecated shim over `eleph` (one release of compatibility): the
+//! experiment now lives behind `eleph_report::cli`; this binary
+//! forwards there so its output stays byte-identical.
 
 fn main() -> std::io::Result<()> {
-    let (scale, seed) = cli_scale_seed();
-    print!("{}", table4(scale, seed)?.render());
-    Ok(())
+    eleph_report::cli::legacy_shim("table4")
 }

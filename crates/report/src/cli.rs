@@ -1,0 +1,523 @@
+//! The `eleph` command-line interface — one binary for every
+//! experiment plus the streaming pipeline.
+//!
+//! Subcommands:
+//!
+//! * `eleph fig1a|fig1b|fig1c|table1|table2|table3|table4` — regenerate
+//!   one figure/table (options: `--scale F --seed N`);
+//! * `eleph ablation --which gamma|window|beta|scheme` — one ablation;
+//! * `eleph all` — the full refresh, sharing expensive builds;
+//! * `eleph run (--pcap FILE | --synth)` — stream packets through the
+//!   [`eleph_pipeline`] builder and emit per-interval JSONL.
+//!
+//! The pre-PR-4 one-binary-per-experiment entry points
+//! (`fig1a`, `table1`, …) still exist as thin shims over this module —
+//! same parsing, same experiment functions, byte-identical output —
+//! and announce their deprecation in `--help`.
+
+use std::io::{self, Write};
+
+use eleph_core::{
+    AestDetector, ConstantLoadDetector, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
+    PAPER_LATENT_WINDOW,
+};
+use eleph_pipeline::{JsonlSink, PcapSource, PipelineBuilder, TraceSource};
+use eleph_trace::{RateTrace, WorkloadConfig};
+
+use crate::experiments::{
+    ablation_beta, ablation_gamma, ablation_scheme, ablation_window, fig1_data, fig1a, fig1b,
+    fig1c, table1, table2, table3, table4, west_lab,
+};
+
+/// Options shared by every experiment subcommand.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonOpts {
+    /// Scenario scale factor (0 < scale ≤ 1; figures use 1).
+    pub scale: f64,
+    /// Master seed for the synthetic scenarios.
+    pub seed: u64,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts { scale: 1.0, seed: 42 }
+    }
+}
+
+/// Parse `--scale` / `--seed` from an argument list (defaults 1.0 / 42).
+///
+/// # Panics
+///
+/// Panics on unknown arguments or unparsable values, with the same
+/// messages the legacy per-experiment binaries used.
+pub fn parse_common(args: &[String]) -> CommonOpts {
+    let mut opts = CommonOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                opts.scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                opts.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}; supported: --scale F --seed N"),
+        }
+    }
+    opts
+}
+
+/// Run one experiment by id and return its rendered report — the single
+/// code path behind both `eleph <id>` and the legacy shim binaries, so
+/// their stdout cannot diverge.
+pub fn render_experiment(id: &str, opts: CommonOpts) -> io::Result<String> {
+    let CommonOpts { scale, seed } = opts;
+    Ok(match id {
+        "fig1a" | "fig1b" | "fig1c" | "table1" | "table2" | "table3" => {
+            let data = fig1_data(scale, seed);
+            match id {
+                "fig1a" => fig1a(&data)?.render(),
+                "fig1b" => fig1b(&data)?.render(),
+                "fig1c" => fig1c(&data)?.render(),
+                "table1" => table1(&data)?.render(),
+                "table2" => table2(&data)?.render(),
+                _ => table3(&data)?.render(),
+            }
+        }
+        "table4" => table4(scale, seed)?.render(),
+        "ablation_gamma" | "ablation_window" | "ablation_beta" | "ablation_scheme" => {
+            let (scenario, lab) = west_lab(scale, seed);
+            match id {
+                "ablation_gamma" => ablation_gamma(&scenario, &lab)?.render(),
+                "ablation_window" => ablation_window(&scenario, &lab)?.render(),
+                "ablation_beta" => ablation_beta(&scenario, &lab)?.render(),
+                _ => ablation_scheme(&scenario, &lab)?.render(),
+            }
+        }
+        other => panic!("unknown experiment {other}"),
+    })
+}
+
+/// Run every experiment, sharing the expensive builds (the Figure 1
+/// dataset feeds the three panels plus tables 1–3; one west-coast lab
+/// build feeds all four ablations) — the `eleph all` subcommand and the
+/// legacy `all_experiments` binary.
+pub fn render_all(opts: CommonOpts) -> io::Result<String> {
+    let CommonOpts { scale, seed } = opts;
+    let mut out = String::new();
+    let data = fig1_data(scale, seed);
+    for o in [
+        fig1a(&data)?,
+        fig1b(&data)?,
+        fig1c(&data)?,
+        table1(&data)?,
+        table2(&data)?,
+        table3(&data)?,
+    ] {
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    out.push_str(&table4(scale, seed)?.render());
+    out.push('\n');
+    let (scenario, lab) = west_lab(scale, seed);
+    for o in [
+        ablation_gamma(&scenario, &lab)?,
+        ablation_window(&scenario, &lab)?,
+        ablation_beta(&scenario, &lab)?,
+        ablation_scheme(&scenario, &lab)?,
+    ] {
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+const USAGE: &str = "\
+eleph — elephant classification experiments and streaming pipeline
+
+USAGE:
+    eleph <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    fig1a | fig1b | fig1c      regenerate a Figure 1 panel
+    table1 | table2 | table3 | table4
+                               regenerate a paper table
+    ablation --which W         W = gamma | window | beta | scheme
+    all                        every experiment, sharing builds
+    run                        stream packets -> per-interval JSONL
+    help                       this text
+
+EXPERIMENT OPTIONS:
+    --scale F                  shrink the scenarios (0 < F <= 1; default 1)
+    --seed N                   scenario master seed (default 42)
+
+RUN OPTIONS (eleph run):
+    --pcap FILE                stream a pcap capture
+    --synth                    stream a synthetic workload
+    --flows N                  synthetic flows (default 400)
+    --intervals N              interval count (synth default 120; pcap default unbounded)
+    --interval-secs S          measurement interval T in seconds
+    --start-unix T             first interval start (pcap; default: the
+                               first packet's timestamp floored to the
+                               interval length)
+    --seed N                   synthetic workload seed (--synth only; default 7)
+    --rib FILE                 routing table as a text RIB dump (see
+                               eleph_bgp::dump); without it a synthetic
+                               table is generated, which only matches
+                               captures produced against that same table
+    --prefixes N               synthetic routing-table size (default 20000)
+    --detector D               constant-load | aest (default constant-load)
+    --beta F                   constant-load target (default 0.8)
+    --gamma F                  threshold EWMA smoothing (default 0.9)
+    --scheme S                 latent | single | hysteresis (default latent)
+    --window N                 latent-heat window (default 12)
+    --enter F / --exit F       hysteresis thresholds (default 1.2 / 0.6)
+    --out FILE                 JSONL destination (default stdout)
+";
+
+/// Entry point for the `eleph` binary: parse `argv[1..]` and dispatch.
+pub fn eleph_main() -> io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        "fig1a" | "fig1b" | "fig1c" | "table1" | "table2" | "table3" | "table4" => {
+            print!("{}", render_experiment(cmd, parse_common(rest))?);
+            Ok(())
+        }
+        "ablation" => {
+            let (which, rest) = take_flag_value(rest, "--which")
+                .unwrap_or_else(|| panic!("ablation needs --which gamma|window|beta|scheme"));
+            assert!(
+                matches!(which.as_str(), "gamma" | "window" | "beta" | "scheme"),
+                "unknown ablation {which}; supported: gamma window beta scheme"
+            );
+            print!(
+                "{}",
+                render_experiment(&format!("ablation_{which}"), parse_common(&rest))?
+            );
+            Ok(())
+        }
+        "all" => {
+            print!("{}", render_all(parse_common(rest))?);
+            Ok(())
+        }
+        "run" => run_streaming(rest),
+        other => panic!("unknown subcommand {other}; try `eleph help`"),
+    }
+}
+
+/// Entry point for the legacy one-experiment binaries: deprecation
+/// notice on `--help`, otherwise the exact `eleph` code path.
+pub fn legacy_shim(id: &str) -> io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        let replacement = match id {
+            "all" => "eleph all".to_string(),
+            _ if id.starts_with("ablation_") => {
+                format!("eleph ablation --which {}", &id["ablation_".len()..])
+            }
+            _ => format!("eleph {id}"),
+        };
+        println!(
+            "deprecated: this binary is a compatibility shim and will be removed \
+             next release; use `{replacement}` instead.\n\n\
+             usage: {id} [--scale F] [--seed N]"
+        );
+        return Ok(());
+    }
+    let opts = parse_common(&args);
+    if id == "all" {
+        print!("{}", render_all(opts)?);
+    } else {
+        print!("{}", render_experiment(id, opts)?);
+    }
+    Ok(())
+}
+
+/// Pop `flag VALUE` out of an argument list, returning the value and
+/// the remaining arguments.
+fn take_flag_value(args: &[String], flag: &str) -> Option<(String, Vec<String>)> {
+    let at = args.iter().position(|a| a == flag)?;
+    let value = args.get(at + 1)?.clone();
+    let mut rest: Vec<String> = args[..at].to_vec();
+    rest.extend_from_slice(&args[at + 2..]);
+    Some((value, rest))
+}
+
+/// All options of `eleph run` in one struct — the single configuration
+/// surface for streaming invocations.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Stream this pcap file (mutually exclusive with `synth`).
+    pub pcap: Option<String>,
+    /// Stream a synthetic workload.
+    pub synth: bool,
+    /// Synthetic flow count.
+    pub flows: usize,
+    /// Interval bound (`None` = unbounded pcap stream).
+    pub intervals: Option<usize>,
+    /// Measurement interval T in seconds (`None` = source default).
+    pub interval_secs: Option<u64>,
+    /// First interval start for pcap streams (`None` = derive from the
+    /// first packet's timestamp, floored to the interval length).
+    pub start_unix: Option<u64>,
+    /// Workload seed (synthetic source only).
+    pub seed: u64,
+    /// Text RIB dump to attribute against (`None` = synthetic table).
+    pub rib: Option<String>,
+    /// Synthetic routing-table size.
+    pub prefixes: usize,
+    /// Detector kind: "constant-load" or "aest".
+    pub detector: String,
+    /// Constant-load target β.
+    pub beta: f64,
+    /// Threshold smoothing γ.
+    pub gamma: f64,
+    /// Scheme kind: "latent", "single" or "hysteresis".
+    pub scheme: String,
+    /// Latent-heat window.
+    pub window: usize,
+    /// Hysteresis enter multiplier.
+    pub enter: f64,
+    /// Hysteresis exit multiplier.
+    pub exit: f64,
+    /// JSONL destination (`None` = stdout).
+    pub out: Option<String>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            pcap: None,
+            synth: false,
+            flows: 400,
+            intervals: None,
+            interval_secs: None,
+            start_unix: None,
+            seed: 7,
+            rib: None,
+            prefixes: 20_000,
+            detector: "constant-load".to_string(),
+            beta: PAPER_BETA,
+            gamma: PAPER_GAMMA,
+            scheme: "latent".to_string(),
+            window: PAPER_LATENT_WINDOW,
+            enter: 1.2,
+            exit: 0.6,
+            out: None,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parse `eleph run` arguments.
+    pub fn parse(args: &[String]) -> RunOpts {
+        let mut o = RunOpts::default();
+        let mut i = 0;
+        let value = |i: &mut usize, args: &[String]| -> String {
+            *i += 2;
+            args.get(*i - 1)
+                .unwrap_or_else(|| panic!("{} takes a value", args[*i - 2]))
+                .clone()
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--pcap" => o.pcap = Some(value(&mut i, args)),
+                "--synth" => {
+                    o.synth = true;
+                    i += 1;
+                }
+                "--flows" => o.flows = value(&mut i, args).parse().expect("--flows takes a count"),
+                "--intervals" => {
+                    o.intervals =
+                        Some(value(&mut i, args).parse().expect("--intervals takes a count"))
+                }
+                "--interval-secs" => {
+                    o.interval_secs =
+                        Some(value(&mut i, args).parse().expect("--interval-secs takes seconds"))
+                }
+                "--start-unix" => {
+                    o.start_unix = Some(
+                        value(&mut i, args).parse().expect("--start-unix takes a timestamp"),
+                    )
+                }
+                "--seed" => o.seed = value(&mut i, args).parse().expect("--seed takes an integer"),
+                "--rib" => o.rib = Some(value(&mut i, args)),
+                "--prefixes" => {
+                    o.prefixes = value(&mut i, args).parse().expect("--prefixes takes a count")
+                }
+                "--detector" => o.detector = value(&mut i, args),
+                "--beta" => o.beta = value(&mut i, args).parse().expect("--beta takes a float"),
+                "--gamma" => o.gamma = value(&mut i, args).parse().expect("--gamma takes a float"),
+                "--scheme" => o.scheme = value(&mut i, args),
+                "--window" => {
+                    o.window = value(&mut i, args).parse().expect("--window takes a count")
+                }
+                "--enter" => o.enter = value(&mut i, args).parse().expect("--enter takes a float"),
+                "--exit" => o.exit = value(&mut i, args).parse().expect("--exit takes a float"),
+                "--out" => o.out = Some(value(&mut i, args)),
+                other => panic!("unknown argument {other}; try `eleph help`"),
+            }
+        }
+        assert!(
+            o.pcap.is_some() != o.synth,
+            "eleph run needs exactly one of --pcap FILE or --synth"
+        );
+        o
+    }
+
+    /// The configured detector, chosen at runtime.
+    pub fn make_detector(&self) -> Box<dyn ThresholdDetector> {
+        match self.detector.as_str() {
+            "constant-load" | "cl" => Box::new(ConstantLoadDetector::new(self.beta)),
+            "aest" => Box::new(AestDetector::new()),
+            other => panic!("unknown detector {other}; supported: constant-load aest"),
+        }
+    }
+
+    /// The configured classification scheme.
+    pub fn make_scheme(&self) -> Scheme {
+        match self.scheme.as_str() {
+            "latent" | "latent-heat" => Scheme::LatentHeat { window: self.window },
+            "single" | "single-feature" => Scheme::SingleFeature,
+            "hysteresis" => Scheme::Hysteresis {
+                enter: self.enter,
+                exit: self.exit,
+            },
+            other => panic!("unknown scheme {other}; supported: latent single hysteresis"),
+        }
+    }
+}
+
+/// `eleph run`: wire a source into the streaming pipeline and emit
+/// per-interval JSONL, with a run summary on stderr.
+pub fn run_streaming(args: &[String]) -> io::Result<()> {
+    let opts = RunOpts::parse(args);
+    let table = match &opts.rib {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            eleph_bgp::dump::read_dump(file)
+                .map_err(|e| io::Error::other(format!("{path}: {e}")))?
+        }
+        None => {
+            if opts.pcap.is_some() {
+                // Attribution is only meaningful against the table the
+                // capture was generated for; be loud about the default.
+                eprintln!(
+                    "eleph run: no --rib given; attributing against a synthetic \
+                     {}-prefix table (matches captures produced with this tool's \
+                     default table only)",
+                    opts.prefixes,
+                );
+            }
+            eleph_bgp::synth::generate(&eleph_bgp::synth::SynthConfig {
+                n_prefixes: opts.prefixes,
+                ..eleph_bgp::synth::SynthConfig::default()
+            })
+        }
+    };
+
+    let sink: JsonlSink<Box<dyn Write>> = JsonlSink::new(match &opts.out {
+        Some(path) => Box::new(io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(io::BufWriter::new(io::stdout())),
+    });
+
+    let builder = PipelineBuilder::new()
+        .table(&table)
+        .detector(opts.make_detector())
+        .gamma(opts.gamma)
+        .scheme(opts.make_scheme())
+        .sink(sink);
+
+    let report = if let Some(path) = &opts.pcap {
+        let interval_secs = opts.interval_secs.unwrap_or(300);
+        // Without an explicit start, anchor the window at the first
+        // packet's interval: real captures carry epoch timestamps, and
+        // starting at 0 would make the pipeline seal decades of empty
+        // intervals before the first real one.
+        let start_unix = match opts.start_unix {
+            Some(t) => t,
+            None => {
+                let t = first_packet_unix(path)?;
+                let start = t / interval_secs * interval_secs;
+                eprintln!(
+                    "eleph run: no --start-unix given; anchoring the window at \
+                     {start} (first packet's interval start)"
+                );
+                start
+            }
+        };
+        let mut builder = builder.interval_secs(interval_secs).start_unix(start_unix);
+        if let Some(n) = opts.intervals {
+            builder = builder.n_intervals(n);
+        }
+        let mut pipeline = builder.build();
+        let source = PcapSource::new(std::fs::File::open(path)?)
+            .map_err(|e| io::Error::other(format!("{path}: {e}")))?;
+        pipeline
+            .run(source)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        pipeline.finish().map_err(|e| io::Error::other(e.to_string()))?
+    } else {
+        let config = WorkloadConfig {
+            n_flows: opts.flows,
+            n_intervals: opts.intervals.unwrap_or(120),
+            interval_secs: opts.interval_secs.unwrap_or(60),
+            ..WorkloadConfig::small_test(opts.seed)
+        };
+        let trace = RateTrace::generate(&config, &table);
+        let mut pipeline = builder
+            .interval_secs(config.interval_secs)
+            .start_unix(config.start_unix)
+            .n_intervals(config.n_intervals)
+            .build();
+        pipeline
+            .run(TraceSource::new(&trace))
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        pipeline.finish().map_err(|e| io::Error::other(e.to_string()))?
+    };
+
+    let s = report.stats;
+    eprintln!(
+        "eleph run: {} intervals sealed, {} prefixes; {} packets offered, \
+         {} attributed ({} bytes), {} unroutable, {} out-of-window, \
+         {} malformed, {} late (conserved: {})",
+        report.intervals,
+        report.keys.len(),
+        s.offered,
+        s.attributed,
+        s.attributed_bytes,
+        s.unroutable,
+        s.out_of_window,
+        s.malformed,
+        s.late,
+        s.is_conserved(),
+    );
+    Ok(())
+}
+
+/// Unix second of the first record in a pcap file (0 for an empty
+/// capture — the window then starts at the epoch, which is harmless
+/// since there are no packets to seal against).
+fn first_packet_unix(path: &str) -> io::Result<u64> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = eleph_packet::pcap::PcapReader::new(file)
+        .map_err(|e| io::Error::other(format!("{path}: {e}")))?;
+    let mut buf = Vec::new();
+    match reader
+        .next_record_into(&mut buf)
+        .map_err(|e| io::Error::other(format!("{path}: {e}")))?
+    {
+        Some(head) => Ok(head.ts_ns / 1_000_000_000),
+        None => Ok(0),
+    }
+}

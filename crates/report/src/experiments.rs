@@ -741,23 +741,11 @@ fn count_peak_to_trough(result: &ClassificationResult) -> f64 {
 }
 
 /// Parse `--scale` and `--seed` from the command line (defaults 1.0 / 42).
+///
+/// Thin wrapper over [`crate::cli::parse_common`], kept for callers of
+/// the pre-`eleph` API.
 pub fn cli_scale_seed() -> (f64, u64) {
-    let mut scale = 1.0f64;
-    let mut seed = 42u64;
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" if i + 1 < args.len() => {
-                scale = args[i + 1].parse().expect("--scale takes a float");
-                i += 2;
-            }
-            "--seed" if i + 1 < args.len() => {
-                seed = args[i + 1].parse().expect("--seed takes an integer");
-                i += 2;
-            }
-            other => panic!("unknown argument {other}; supported: --scale F --seed N"),
-        }
-    }
-    (scale, seed)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = crate::cli::parse_common(&args);
+    (opts.scale, opts.seed)
 }

@@ -1,22 +1,29 @@
-//! End-to-end packet path: synthesize a pcap, read it back through the
-//! measurement pipeline, classify, and print a per-interval link report.
+//! End-to-end packet path: synthesize a pcap, stream it back through
+//! the online pipeline, and print a per-interval link report.
 //!
 //! Unlike the figure experiments (which run at rate level for speed),
 //! this exercises the full packet machinery: pcap file I/O, IPv4/TCP
-//! parsing with checksums, longest-prefix-match attribution, interval
-//! binning — plus optional fault injection in the spirit of smoltcp's
-//! example flags:
+//! parsing with checksums, longest-prefix-match attribution, streaming
+//! interval sealing and online classification — plus optional fault
+//! injection between "capture" and "analysis", in the spirit of
+//! smoltcp's example flags:
 //!
 //! ```sh
-//! cargo run -p eleph-examples --bin link_report
-//! cargo run -p eleph-examples --bin link_report -- --drop 0.05 --corrupt 0.02
+//! cargo run -p eleph-tests --example link_report
+//! cargo run -p eleph-tests --example link_report -- --drop 0.05 --corrupt 0.02
 //! ```
+//!
+//! Because the faults mutate *raw* packet bytes, the stream goes in
+//! through [`eleph_pipeline::Pipeline::observe_raw`], which re-parses
+//! each packet (including the IPv4 header checksum) so injected
+//! corruption is counted as malformed instead of being attributed to a
+//! possibly-wrong prefix.
 
 use eleph_bgp::synth::{self, SynthConfig};
-use eleph_core::{classify, ConstantLoadDetector, Scheme, PAPER_GAMMA};
-use eleph_flow::Aggregator;
+use eleph_core::{ConstantLoadDetector, Scheme, PAPER_GAMMA};
 use eleph_packet::pcap::PcapReader;
 use eleph_packet::LinkType;
+use eleph_pipeline::{Collector, PipelineBuilder};
 use eleph_trace::{FaultConfig, FaultInjector, PacketSynth, RateTrace, WorkloadConfig};
 
 fn main() {
@@ -52,7 +59,7 @@ fn main() {
         pcap_bytes.len() as f64 / (1024.0 * 1024.0)
     );
 
-    // --- 2. Read it back through the measurement pipeline, with faults
+    // --- 2. Stream it back through the online pipeline, with faults
     //        injected between "capture" and "analysis". ------------------
     let mut injector = FaultInjector::new(FaultConfig {
         drop_prob: drop_p,
@@ -60,26 +67,32 @@ fn main() {
         truncate_prob: 0.0,
         seed: 99,
     });
+    let collector = Collector::new();
+    let mut pipeline = PipelineBuilder::new()
+        .table(&table)
+        .interval_secs(workload.interval_secs)
+        .start_unix(workload.start_unix)
+        .n_intervals(workload.n_intervals)
+        .detector(ConstantLoadDetector::new(0.8))
+        .gamma(PAPER_GAMMA)
+        .scheme(Scheme::LatentHeat { window: 4 })
+        .sink(collector.sink())
+        .build();
+
     let mut reader = PcapReader::new(&pcap_bytes[..]).expect("valid pcap header");
     let link = LinkType::from_code(reader.header().linktype).expect("known linktype");
-    let mut agg = Aggregator::new(
-        &table,
-        workload.interval_secs,
-        workload.start_unix,
-        workload.n_intervals,
-    );
     while let Some(record) = reader.next_record().expect("records parse") {
         let mut data = record.data.to_vec();
         if injector.apply(&mut data) == eleph_trace::FaultAction::Dropped {
             continue;
         }
-        // observe_raw re-parses (including the IPv4 header checksum), so
-        // injected corruption is counted as malformed instead of being
-        // attributed to a possibly-wrong prefix.
-        agg.observe_raw(link, &data, record.ts_ns);
+        pipeline
+            .observe_raw(link, &data, record.ts_ns)
+            .expect("sinks accept intervals");
     }
     let fstats = injector.stats();
-    let (matrix, stats) = agg.finish();
+    let report = pipeline.finish().expect("pipeline finish");
+    let stats = report.stats;
     println!(
         "pipeline accounting: {} offered, {} attributed, {} malformed, {} unroutable (conserved: {})",
         stats.offered,
@@ -95,25 +108,21 @@ fn main() {
         );
     }
 
-    // --- 3. Classify and report per interval. ---------------------------
-    let result = classify(
-        &matrix,
-        ConstantLoadDetector::new(0.8),
-        PAPER_GAMMA,
-        Scheme::LatentHeat { window: 4 },
-    );
+    // --- 3. Report per interval — classification already happened
+    //        online, interval by interval, as the stream crossed each
+    //        boundary. ---------------------------------------------------
     println!(
-        "\n{:<10} {:>9} {:>10} {:>11} {:>13}",
-        "interval", "flows", "load", "elephants", "eleph. share"
+        "\n{:<10} {:>10} {:>11} {:>13}",
+        "interval", "load", "elephants", "eleph. share"
     );
-    for n in 0..matrix.n_intervals() {
+    for (n, sealed) in collector.take().iter().enumerate() {
+        let o = &sealed.outcome;
         println!(
-            "{:<10} {:>9} {:>7.2} Mb/s {:>9} {:>12.1}%",
+            "{:<10} {:>7.2} Mb/s {:>9} {:>12.1}%",
             workload.interval_label(n),
-            matrix.active(n),
-            matrix.total(n) / 1e6,
-            result.count(n),
-            100.0 * result.fraction(n),
+            o.total_load / 1e6,
+            o.elephants.len(),
+            100.0 * o.fraction(),
         );
     }
 }

@@ -1,16 +1,23 @@
-//! Quickstart: the 60-second tour of the library.
+//! Quickstart: the 60-second tour of the library, built around the
+//! streaming pipeline.
 //!
-//! Builds a small synthetic link (routing table + traffic), runs the
-//! paper's two-feature "latent heat" classification, and prints what the
-//! elephant class looks like.
+//! A small synthetic link (routing table + traffic) streams through the
+//! [`eleph_pipeline::PipelineBuilder`]: packets are attributed to BGP
+//! prefixes, sealed into measurement intervals, and classified online
+//! with the paper's two-feature "latent heat" scheme — one interval at
+//! a time, never materializing the full bandwidth matrix. Exactly what
+//! a live monitor on a backbone link would run.
 //!
 //! ```sh
-//! cargo run -p eleph-examples --bin quickstart
+//! cargo run -p eleph-tests --example quickstart
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use eleph_bgp::synth::{self, SynthConfig};
-use eleph_core::{classify, ConstantLoadDetector, Scheme, PAPER_GAMMA, PAPER_LATENT_WINDOW};
-use eleph_flow::BandwidthMatrix;
+use eleph_core::{ConstantLoadDetector, Scheme, PAPER_GAMMA, PAPER_LATENT_WINDOW};
+use eleph_pipeline::{CallbackSink, Collector, PipelineBuilder, TraceSource};
 use eleph_trace::{RateTrace, WorkloadConfig};
 
 fn main() {
@@ -22,53 +29,79 @@ fn main() {
     });
     println!("routing table: {} prefixes", table.len());
 
-    // 2. A traffic trace. small_test() is a 10 Mb/s link with 400 flows
-    //    over two hours of 1-minute intervals.
-    let workload = WorkloadConfig::small_test(7);
+    // 2. A traffic source. small_test() is a 10 Mb/s link with 1-minute
+    //    intervals; TraceSource synthesizes its packets one interval at
+    //    a time, so memory stays bounded however long the trace runs.
+    let workload = WorkloadConfig {
+        n_flows: 300,
+        n_intervals: 48,
+        ..WorkloadConfig::small_test(7)
+    };
     let trace = RateTrace::generate(&workload, &table);
-    let matrix = BandwidthMatrix::from_rate_trace(&trace);
-    println!(
-        "trace: {} intervals x {} flows, mean utilization {:.1}%",
-        matrix.n_intervals(),
-        matrix.n_keys(),
-        100.0 * trace.utilization().iter().sum::<f64>() / trace.n_intervals() as f64,
-    );
 
-    // 3. Classify with the paper's headline scheme: a 0.8-constant-load
-    //    threshold, EWMA-smoothed with gamma = 0.9, and the latent-heat
-    //    two-feature rule.
-    let result = classify(
-        &matrix,
-        ConstantLoadDetector::new(0.8),
-        PAPER_GAMMA,
-        Scheme::LatentHeat {
+    // 3. The pipeline: packet source → frozen-LPM attribution →
+    //    interval sealing → online classification → sinks. Here the
+    //    paper's headline configuration: 0.8-constant-load threshold,
+    //    EWMA gamma = 0.9, latent heat over a 12-slot window. Two sinks
+    //    fan out: an in-memory collector for the report below, and a
+    //    callback that fires *the moment* an interval seals — a live
+    //    monitor's early-alert hook, impossible in batch mode.
+    let collector = Collector::new();
+    let busy_intervals = Arc::new(AtomicUsize::new(0));
+    let busy_hook = Arc::clone(&busy_intervals);
+    let mut pipeline = PipelineBuilder::new()
+        .table(&table)
+        .interval_secs(workload.interval_secs)
+        .start_unix(workload.start_unix)
+        .n_intervals(workload.n_intervals)
+        .detector(ConstantLoadDetector::new(0.8))
+        .gamma(PAPER_GAMMA)
+        .scheme(Scheme::LatentHeat {
             window: PAPER_LATENT_WINDOW,
-        },
-    );
+        })
+        .sink(collector.sink())
+        .sink(CallbackSink::new(move |sealed| {
+            // React mid-capture: pin these flows, rebalance, page…
+            if sealed.outcome.fraction() > 0.7 {
+                busy_hook.fetch_add(1, Ordering::Relaxed);
+            }
+        }))
+        .build();
+    pipeline.run(TraceSource::new(&trace)).expect("streaming run");
+    let report = pipeline.finish().expect("pipeline finish");
 
-    // 4. What did we get?
-    let last = matrix.n_intervals() - 1;
     println!(
-        "\ninterval {last}: {} elephants of {} active flows carry {:.0}% of traffic",
-        result.count(last),
-        matrix.active(last),
-        100.0 * result.fraction(last),
+        "streamed {} packets ({:.1} MiB attributed) into {} intervals, {} prefixes seen",
+        report.stats.offered,
+        report.stats.attributed_bytes as f64 / (1024.0 * 1024.0),
+        report.intervals,
+        report.keys.len(),
     );
-    println!("threshold T̄ = {:.1} kb/s", result.thresholds[last] / 1e3);
 
-    println!("\ntop elephants in the final interval:");
-    let mut elephants: Vec<_> = result.elephants[last]
-        .iter()
-        .map(|&key| (matrix.rate(last, key), matrix.key(key)))
-        .collect();
-    elephants.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("rates are finite"));
-    for (rate, prefix) in elephants.iter().take(10) {
-        println!("  {prefix:<20} {:>10.1} kb/s", rate / 1e3);
+    // 4. What did we get? The collector holds one outcome per sealed
+    //    interval, in order — the same numbers the batch classifier
+    //    would produce (bit-identical; see the streaming-equivalence
+    //    tests).
+    let outcomes = collector.take();
+    let last = outcomes.last().expect("at least one interval");
+    println!(
+        "\nfinal interval: {} elephants carry {:.0}% of traffic (threshold {:.1} kb/s)",
+        last.outcome.elephants.len(),
+        100.0 * last.outcome.fraction(),
+        last.outcome.threshold / 1e3,
+    );
+    println!("elephant prefixes in the final interval:");
+    for &key in last.outcome.elephants.iter().take(10) {
+        println!("  {}", report.keys[key as usize]);
     }
 
+    let mean_count = outcomes.iter().map(|o| o.outcome.elephants.len()).sum::<usize>() as f64
+        / outcomes.len() as f64;
+    let mean_fraction =
+        outcomes.iter().map(|o| o.outcome.fraction()).sum::<f64>() / outcomes.len() as f64;
     println!(
-        "\nacross the whole trace: mean {:.0} elephants/interval, mean load share {:.2}",
-        result.mean_count(),
-        result.mean_fraction(),
+        "\nacross the stream: mean {mean_count:.0} elephants/interval, mean load share \
+         {mean_fraction:.2}; {} intervals tripped the >70% early alert",
+        busy_intervals.load(Ordering::Relaxed),
     );
 }

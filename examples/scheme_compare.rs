@@ -70,7 +70,9 @@ fn main() {
         ] {
             let detector = make();
             let label = format!("{} / {}", detector.name(), scheme_name);
-            let result = classify_boxed(&matrix, detector, scheme);
+            // `Box<dyn ThresholdDetector>` implements the trait itself,
+            // so runtime-chosen detectors feed `classify` directly.
+            let result = classify(&matrix, detector, PAPER_GAMMA, scheme);
             let h = holding::analyze(&result, busy.clone(), workload.interval_secs);
             let churn_series = churn(&result);
             let mean_churn = churn_series[PAPER_LATENT_WINDOW..]
@@ -94,23 +96,4 @@ fn main() {
          far longer holding\ntimes and an order of magnitude fewer \
          single-interval elephants, on every detector."
     );
-}
-
-/// `classify` is generic over the detector type; monomorphise through a
-/// boxed adapter so the detectors can live in one list.
-fn classify_boxed(
-    matrix: &BandwidthMatrix,
-    detector: Box<dyn ThresholdDetector>,
-    scheme: Scheme,
-) -> eleph_core::ClassificationResult {
-    struct Adapter(Box<dyn ThresholdDetector>);
-    impl ThresholdDetector for Adapter {
-        fn detect(&self, values: &[f64]) -> Option<f64> {
-            self.0.detect(values)
-        }
-        fn name(&self) -> String {
-            self.0.name()
-        }
-    }
-    classify(matrix, Adapter(detector), PAPER_GAMMA, scheme)
 }

@@ -8,10 +8,17 @@
 #      classify runs, and online against batch — the properties that
 #      license every classifier optimisation (already part of tier-1;
 #      re-run by name so a failure is attributed immediately);
-#   3. the `prefetch` feature: build and test the feature-gated software
+#   3. streaming equivalence: the PR-4 pipeline (packets → sealing →
+#      online classification, no matrix) against aggregate_pcap +
+#      classify, bit-identical on the same capture bytes;
+#   4. the `prefetch` feature: build and test the feature-gated software
 #      prefetch paths (net batch lookup, packet scan-ahead, and their
 #      dependents) so the gated code cannot rot unbuilt;
-#   4. bench compilation: the criterion harnesses must at least build.
+#   5. bench compilation: the criterion harnesses must at least build;
+#   6. executables: examples build and the packet-path ones smoke-run,
+#      `eleph run` streams a tiny synthetic workload to JSONL, and the
+#      deprecated per-experiment shims stay byte-identical to their
+#      `eleph` subcommands (fig1a, table1).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -31,6 +38,9 @@ cargo test -q -p eleph-core --test props -- \
     adversarial_magnitudes_leave_no_stale_state
 cargo test -q -p eleph-core --lib online::
 
+echo "== streaming equivalence: pipeline vs aggregate_pcap + classify =="
+cargo test -q -p eleph-tests --test streaming_equivalence
+
 echo "== feature gate: prefetch build =="
 cargo build -p eleph-flow -p eleph-bench --features prefetch
 
@@ -39,5 +49,27 @@ cargo test -q -p eleph-net -p eleph-packet -p eleph-flow --features prefetch
 
 echo "== benches compile =="
 cargo build -p eleph-bench --benches --release
+
+echo "== examples build + packet-path smoke runs =="
+cargo build --release -p eleph-tests --examples
+cargo run -q --release -p eleph-tests --example quickstart > /dev/null
+cargo run -q --release -p eleph-tests --example link_report -- --drop 0.02 > /dev/null
+
+echo "== eleph run: tiny synthetic workload to JSONL =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p eleph-report --bin eleph -- \
+    run --synth --flows 200 --intervals 4 --interval-secs 20 --prefixes 2000 \
+    --out "$tmpdir/run.jsonl" 2> /dev/null
+[ "$(wc -l < "$tmpdir/run.jsonl")" -eq 4 ] \
+    || { echo "eleph run: expected 4 JSONL intervals" >&2; exit 1; }
+
+echo "== legacy shims byte-identical to eleph subcommands (fig1a, table1) =="
+cargo run -q --release -p eleph-report --bin eleph -- fig1a --scale 0.01 --seed 5 > "$tmpdir/eleph_fig1a"
+cargo run -q --release -p eleph-report --bin fig1a -- --scale 0.01 --seed 5 > "$tmpdir/shim_fig1a"
+diff "$tmpdir/eleph_fig1a" "$tmpdir/shim_fig1a"
+cargo run -q --release -p eleph-report --bin eleph -- table1 --scale 0.01 --seed 5 > "$tmpdir/eleph_table1"
+cargo run -q --release -p eleph-report --bin table1 -- --scale 0.01 --seed 5 > "$tmpdir/shim_table1"
+diff "$tmpdir/eleph_table1" "$tmpdir/shim_table1"
 
 echo "ci.sh: all gates green"
