@@ -48,7 +48,7 @@ mod threshold;
 mod tracker;
 
 pub use classify::{classify, classify_many, ClassificationResult, ClassifyConfig, Scheme};
-pub use online::{IntervalOutcome, OnlineClassifier};
+pub use online::{ClassifierState, IntervalOutcome, OnlineClassifier};
 pub use threshold::{
     AestDetector, ConstantLoadDetector, PercentileDetector, ThresholdDetector, TopNDetector,
 };

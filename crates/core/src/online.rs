@@ -48,6 +48,35 @@ impl IntervalOutcome {
     }
 }
 
+/// The full recovery frontier of an [`OnlineClassifier`], exported for
+/// checkpointing and re-imported on restart.
+///
+/// The per-key sliding sums are *path-dependent* floats (incremental
+/// adds and retirement subtractions in stream order), so they are
+/// carried verbatim rather than recomputed from the window — recomputing
+/// would bit-differ from an uninterrupted run. Threshold histories are
+/// deliberately **not** part of the state: a checkpoint stays bounded by
+/// the window and key population, independent of run length, and a
+/// resumed classifier's outputs depend only on the smoothed EWMA value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierState {
+    /// Intervals observed so far (the next outcome's index).
+    pub interval: usize,
+    /// Current smoothed threshold (`None` before the first detection).
+    pub smoothed: Option<f64>,
+    /// Sliding threshold sum over the window (path-dependent).
+    pub sum_t: f64,
+    /// Per-key window state for every key with `live > 0`, ascending by
+    /// key id: `(key, sliding bandwidth sum, occupied window slots)`.
+    pub per_key: Vec<(KeyId, f64, u32)>,
+    /// The in-window history, oldest first: each entry is the interval's
+    /// threshold term and its sparse snapshot (ascending by key).
+    pub history: Vec<(f64, Vec<(KeyId, f32)>)>,
+    /// The previous interval's elephants (hysteresis membership),
+    /// ascending by key id; empty for the other schemes.
+    pub members: Vec<KeyId>,
+}
+
 /// Incremental implementation of all three classification schemes.
 ///
 /// Memory: O(highest key id seen) words of dense per-key state plus the
@@ -236,9 +265,121 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
         outcome
     }
 
+    /// Export the recovery frontier (see [`ClassifierState`]).
+    pub fn export_state(&self) -> ClassifierState {
+        ClassifierState {
+            interval: self.interval,
+            smoothed: self.tracker.smoothed_value(),
+            sum_t: self.sum_t,
+            per_key: self
+                .in_window
+                .iter()
+                .map(|key| (key, self.sum_b[key as usize], self.live[key as usize]))
+                .collect(),
+            history: self.history.iter().cloned().collect(),
+            members: self.prev_members.clone(),
+        }
+    }
+
+    /// Rebuild a classifier from a checkpointed [`ClassifierState`],
+    /// continuing bit-identically to the classifier that exported it
+    /// (same detector and configuration required — the caller validates
+    /// those against its checkpoint metadata).
+    ///
+    /// The state is structurally validated: history bounded by the
+    /// window, snapshots and key lists ascending, per-key occupancy
+    /// counts consistent with the history. A corrupted state is rejected
+    /// with a description, never partially restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when γ or the scheme parameters are invalid (same
+    /// contract as [`OnlineClassifier::new`]).
+    pub fn from_state(
+        detector: D,
+        gamma: f64,
+        scheme: Scheme,
+        state: ClassifierState,
+    ) -> Result<Self, String> {
+        let mut classifier = OnlineClassifier::new(detector, gamma, scheme);
+        if state.history.len() > classifier.window {
+            return Err(format!(
+                "classifier state holds {} history slots for a window of {}",
+                state.history.len(),
+                classifier.window
+            ));
+        }
+        if !state.per_key.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("per-key state not ascending by key id".to_string());
+        }
+        if !state.members.windows(2).all(|w| w[0] < w[1]) {
+            return Err("membership list not ascending by key id".to_string());
+        }
+        if !matches!(scheme, Scheme::Hysteresis { .. }) && !state.members.is_empty() {
+            return Err("membership state present for a non-hysteresis scheme".to_string());
+        }
+        // Occupancy must match the history exactly: live[k] is defined
+        // as the number of in-window snapshots containing k, and the
+        // retire path depends on that invariant to release state.
+        let mut live_check: Vec<(KeyId, u32)> =
+            state.per_key.iter().map(|&(key, _, _)| (key, 0)).collect();
+        for (_, snapshot) in &state.history {
+            if !snapshot.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err("history snapshot not ascending by key id".to_string());
+            }
+            for &(key, _) in snapshot {
+                match live_check.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(at) => live_check[at].1 += 1,
+                    Err(_) => {
+                        return Err(format!("history references key {key} absent from per-key state"))
+                    }
+                }
+            }
+        }
+        for (&(key, _, live), &(_, counted)) in state.per_key.iter().zip(&live_check) {
+            if live == 0 || live != counted {
+                return Err(format!(
+                    "key {key} occupancy {live} does not match its {counted} history slots"
+                ));
+            }
+        }
+        classifier.tracker.restore_smoothed(state.smoothed);
+        classifier.sum_t = state.sum_t;
+        for &(key, sum, live) in &state.per_key {
+            classifier.ensure_key(key);
+            classifier.sum_b[key as usize] = sum;
+            classifier.live[key as usize] = live;
+            classifier.in_window.insert(key);
+        }
+        classifier.history = state.history.into();
+        for &key in &state.members {
+            classifier.members.insert(key);
+        }
+        classifier.prev_members = state.members;
+        classifier.interval = state.interval;
+        Ok(classifier)
+    }
+
     /// Number of intervals observed so far.
     pub fn intervals_observed(&self) -> usize {
         self.interval
+    }
+
+    /// The smoothing factor γ this classifier was built with.
+    pub fn gamma(&self) -> f64 {
+        self.tracker.gamma()
+    }
+
+    /// The classification scheme this classifier was built with.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The detector's name (checkpoints fingerprint the configuration
+    /// with it, so a snapshot cannot silently resume under a different
+    /// detector).
+    pub fn detector_name(&self) -> String {
+        self.tracker.detector_name()
     }
 
     /// Number of keys currently holding sliding-window state — zero
@@ -484,5 +625,90 @@ mod tests {
             online.observe(&[]);
         }
         assert_eq!(online.tracked_keys(), 0, "stale window state leaked");
+    }
+
+    #[test]
+    fn state_round_trip_continues_bit_identically() {
+        // Export/import at every split point; the resumed classifier's
+        // remaining outcomes must match the uninterrupted run *by bits*,
+        // including across latent-heat retirement and hysteresis
+        // transitions exercised by the `rows()` mix.
+        let rows = rows();
+        for scheme in [
+            Scheme::SingleFeature,
+            Scheme::LatentHeat { window: 2 },
+            Scheme::Hysteresis { enter: 1.2, exit: 0.6 },
+        ] {
+            let matrix = BandwidthMatrix::from_dense(60, 0, keys(4), &rows);
+            let mut reference =
+                OnlineClassifier::new(ConstantLoadDetector::new(0.8), 0.9, scheme);
+            let expected: Vec<IntervalOutcome> = (0..rows.len())
+                .map(|n| reference.observe(&matrix.interval(n).to_pairs()))
+                .collect();
+            for split in 0..rows.len() {
+                let mut first =
+                    OnlineClassifier::new(ConstantLoadDetector::new(0.8), 0.9, scheme);
+                for n in 0..split {
+                    first.observe(&matrix.interval(n).to_pairs());
+                }
+                let state = first.export_state();
+                assert_eq!(state, first.export_state(), "export must be pure");
+                let mut resumed = OnlineClassifier::from_state(
+                    ConstantLoadDetector::new(0.8),
+                    0.9,
+                    scheme,
+                    state,
+                )
+                .expect("valid state");
+                assert_eq!(resumed.intervals_observed(), split);
+                for n in split..rows.len() {
+                    let out = resumed.observe(&matrix.interval(n).to_pairs());
+                    let want = &expected[n];
+                    assert_eq!(out.interval, want.interval);
+                    assert_eq!(out.elephants, want.elephants, "{scheme:?} split {split} at {n}");
+                    assert_eq!(out.threshold.to_bits(), want.threshold.to_bits());
+                    assert_eq!(out.elephant_load.to_bits(), want.elephant_load.to_bits());
+                    assert_eq!(out.total_load.to_bits(), want.total_load.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_structures() {
+        let scheme = Scheme::LatentHeat { window: 3 };
+        let mut online = OnlineClassifier::new(ConstantLoadDetector::new(0.8), 0.9, scheme);
+        online.observe(&[(1, 50.0), (4, 700.0)]);
+        online.observe(&[(1, 60.0)]);
+        let good = online.export_state();
+        let rebuild = |state: ClassifierState| {
+            OnlineClassifier::from_state(ConstantLoadDetector::new(0.8), 0.9, scheme, state)
+        };
+        assert!(rebuild(good.clone()).is_ok());
+
+        // Occupancy out of sync with the history.
+        let mut bad = good.clone();
+        bad.per_key[0].2 += 1;
+        assert!(rebuild(bad).unwrap_err().contains("occupancy"));
+
+        // History key missing from the per-key table.
+        let mut bad = good.clone();
+        bad.per_key.remove(1);
+        assert!(rebuild(bad).unwrap_err().contains("absent"));
+
+        // More history than the window can hold.
+        let mut bad = good.clone();
+        bad.history.extend_from_slice(&[(1.0, vec![]), (1.0, vec![]), (1.0, vec![])]);
+        assert!(rebuild(bad).unwrap_err().contains("window"));
+
+        // Unsorted snapshot inside the history.
+        let mut bad = good.clone();
+        bad.history[0].1.reverse();
+        assert!(rebuild(bad).unwrap_err().contains("ascending"));
+
+        // Membership state on a scheme without hysteresis.
+        let mut bad = good;
+        bad.members = vec![1];
+        assert!(rebuild(bad).unwrap_err().contains("hysteresis"));
     }
 }

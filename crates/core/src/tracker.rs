@@ -46,6 +46,37 @@ impl ThresholdSeries {
         }
     }
 
+    /// Rebuild a series from checkpointed smoothing state: the γ it was
+    /// created with and the last smoothed value (`None` = no detection
+    /// had happened yet).
+    ///
+    /// Only the *operational* state is restored — the raw/smoothed
+    /// histories restart empty, so a resumed monitor keeps classifying
+    /// bit-identically while its checkpoint stays O(1) in run length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when γ is outside [0, 1) (same contract as
+    /// [`ThresholdSeries::new`]).
+    pub fn with_state(gamma: f64, smoothed: Option<f64>) -> Self {
+        let mut series = ThresholdSeries::new(gamma);
+        if let Some(value) = smoothed {
+            series.ewma.update(value);
+        }
+        series
+    }
+
+    /// The current smoothed threshold (`None` before the first
+    /// successful detection) — the one scalar a checkpoint must carry.
+    pub fn smoothed_value(&self) -> Option<f64> {
+        self.ewma.value()
+    }
+
+    /// The smoothing factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.ewma.gamma()
+    }
+
     /// Feed one interval's raw detection (`None` = the detector
     /// abstained); returns the smoothed threshold `T̄(n)`.
     ///
@@ -91,6 +122,36 @@ impl<D: ThresholdDetector> ThresholdTracker<D> {
             detector,
             series: ThresholdSeries::new(gamma),
         }
+    }
+
+    /// Rebuild a tracker from checkpointed smoothing state (see
+    /// [`ThresholdSeries::with_state`] — histories restart empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics when γ is outside [0, 1).
+    pub fn with_state(detector: D, gamma: f64, smoothed: Option<f64>) -> Self {
+        ThresholdTracker {
+            detector,
+            series: ThresholdSeries::with_state(gamma, smoothed),
+        }
+    }
+
+    /// The current smoothed threshold (`None` before the first
+    /// successful detection).
+    pub fn smoothed_value(&self) -> Option<f64> {
+        self.series.smoothed_value()
+    }
+
+    /// Replace the smoothing state with a checkpointed value, clearing
+    /// the histories (the resumed run records its own going forward).
+    pub fn restore_smoothed(&mut self, smoothed: Option<f64>) {
+        self.series = ThresholdSeries::with_state(self.series.gamma(), smoothed);
+    }
+
+    /// The smoothing factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.series.gamma()
     }
 
     /// Feed one interval's bandwidth snapshot; returns the smoothed

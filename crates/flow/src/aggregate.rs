@@ -133,6 +133,44 @@ impl KeyAllocator {
             (*slot, false)
         }
     }
+
+    /// Keys assigned so far.
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// The inverse mapping, ordered by key id: `result[k]` is the route
+    /// that was first-seen as key `k`. This is the allocator's canonical
+    /// checkpoint form — denser than the sparse route table and enough
+    /// to rebuild it exactly.
+    pub fn key_routes(&self) -> Vec<RouteId> {
+        let mut routes = vec![0 as RouteId; self.n_keys];
+        for (route, &key) in self.route_to_key.iter().enumerate() {
+            if key != NO_KEY {
+                routes[key as usize] = route as RouteId;
+            }
+        }
+        routes
+    }
+
+    /// Rebuild an allocator from its [`KeyAllocator::key_routes`] form.
+    /// Every route must be in bounds and distinct, or the mapping could
+    /// not have come from first-seen assignment.
+    pub fn from_key_routes(n_routes: usize, key_routes: &[RouteId]) -> Result<Self, String> {
+        let mut alloc = KeyAllocator::new(n_routes);
+        for (key, &route) in key_routes.iter().enumerate() {
+            let slot = alloc
+                .route_to_key
+                .get_mut(route as usize)
+                .ok_or_else(|| format!("key {key}: route {route} outside table of {n_routes}"))?;
+            if *slot != NO_KEY {
+                return Err(format!("route {route} assigned to keys {} and {key}", *slot));
+            }
+            *slot = key as KeyId;
+        }
+        alloc.n_keys = key_routes.len();
+        Ok(alloc)
+    }
 }
 
 /// Accounting for every packet offered to an [`Aggregator`].
@@ -1130,5 +1168,25 @@ mod tests {
         for n in 0..sm.n_intervals() {
             assert_eq!(sm.interval(n), cm.interval(n), "interval {n} diverges");
         }
+    }
+
+    #[test]
+    fn key_allocator_round_trips_through_key_routes() {
+        let mut alloc = KeyAllocator::new(10);
+        for route in [7u32, 2, 9, 2, 7, 0] {
+            alloc.key_for(route);
+        }
+        let routes = alloc.key_routes();
+        assert_eq!(routes, vec![7, 2, 9, 0]);
+        let mut rebuilt = KeyAllocator::from_key_routes(10, &routes).expect("valid");
+        assert_eq!(rebuilt.n_keys(), 4);
+        // Existing assignments are preserved; the next fresh route gets
+        // the next dense id, exactly as the original would assign it.
+        assert_eq!(rebuilt.key_for(9), (2, false));
+        assert_eq!(rebuilt.key_for(0), (3, false));
+        assert_eq!(rebuilt.key_for(5), (4, true));
+
+        assert!(KeyAllocator::from_key_routes(10, &[1, 1]).is_err(), "duplicate route");
+        assert!(KeyAllocator::from_key_routes(3, &[4]).is_err(), "route out of bounds");
     }
 }

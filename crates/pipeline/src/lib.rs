@@ -65,14 +65,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod pipeline;
 mod sink;
 mod source;
 
+pub use checkpoint::{
+    crc32, skip_offered, Checkpoint, CheckpointError, Checkpointer, CHECKPOINT_FILE,
+};
 pub use pipeline::{
     Pipeline, PipelineBuilder, PipelineError, PipelineReport, PipelineStats, Result,
 };
 pub use sink::{
-    CallbackSink, CollectedInterval, Collector, CollectorSink, JsonlSink, SealedInterval, Sink,
+    CallbackSink, CollectedInterval, Collector, CollectorSink, JsonlSink, RotatingJsonlSink,
+    SealedInterval, Sink,
 };
-pub use source::{MetaSource, PacketSource, PcapSource, TraceSource};
+pub use source::{FaultedPcapSource, MetaSource, PacketSource, PcapSource, TraceSource};

@@ -11,7 +11,9 @@ use eleph_core::{
 use eleph_flow::{attribute_metas, FrozenTableRef, KeyAllocator, KeyId};
 use eleph_net::Prefix;
 use eleph_packet::{LinkType, PacketMeta};
+use eleph_trace::{CrashPoint, CrashSwitch};
 
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointError, Checkpointer};
 use crate::sink::{SealedInterval, Sink};
 use crate::source::PacketSource;
 
@@ -41,8 +43,15 @@ const FAR_FUTURE_TOLERANCE: u32 = 64;
 pub enum PipelineError {
     /// Structural capture error from the packet source (damaged pcap).
     Packet(eleph_packet::PacketError),
-    /// A sink failed to accept an interval.
-    Io(std::io::Error),
+    /// A sink failed to accept an interval — surfaced at the seal that
+    /// hit it (a full disk fails loudly mid-run, not at the end).
+    Sink(std::io::Error),
+    /// Reading, writing, or applying a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// An injected process fault tripped (failure-injection harness
+    /// only; see [`eleph_trace::CrashSwitch`]). The run aborted exactly
+    /// as a kill at that point would.
+    Crash(CrashPoint),
     /// An unbounded stream persistently jumped further ahead than
     /// [`MAX_UNBOUNDED_GAP`] intervals — the monitor cannot seal that
     /// many empty intervals, and dropping the traffic silently would
@@ -60,7 +69,9 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Packet(e) => write!(f, "packet source error: {e}"),
-            PipelineError::Io(e) => write!(f, "sink error: {e}"),
+            PipelineError::Sink(e) => write!(f, "sink error: {e}"),
+            PipelineError::Checkpoint(e) => write!(f, "{e}"),
+            PipelineError::Crash(point) => write!(f, "injected crash at {point:?}"),
             PipelineError::GapExceeded { open, interval } => write!(
                 f,
                 "stream jumped from open interval {open} to interval {interval}, \
@@ -80,7 +91,13 @@ impl From<eleph_packet::PacketError> for PipelineError {
 
 impl From<std::io::Error> for PipelineError {
     fn from(e: std::io::Error) -> Self {
-        PipelineError::Io(e)
+        PipelineError::Sink(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
     }
 }
 
@@ -128,6 +145,10 @@ pub struct PipelineReport {
     /// in global first-seen order — the same order the batch
     /// aggregator's matrix would use.
     pub keys: Vec<Prefix>,
+    /// Consecutive far-future rejects at end of run (see
+    /// [`Pipeline::far_future_streak`]); nonzero means the capture
+    /// ended on suspicious timestamps.
+    pub far_future_streak: u32,
 }
 
 /// Builder for [`Pipeline`]. Defaults: the paper's headline
@@ -146,6 +167,7 @@ pub struct PipelineBuilder<'t, D> {
     gamma: f64,
     scheme: Scheme,
     sinks: Vec<Box<dyn Sink>>,
+    crash: Option<CrashSwitch>,
 }
 
 impl Default for PipelineBuilder<'_, ConstantLoadDetector> {
@@ -161,6 +183,7 @@ impl Default for PipelineBuilder<'_, ConstantLoadDetector> {
                 window: PAPER_LATENT_WINDOW,
             },
             sinks: Vec::new(),
+            crash: None,
         }
     }
 }
@@ -227,6 +250,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             gamma: self.gamma,
             scheme: self.scheme,
             sinks: self.sinks,
+            crash: self.crash,
         }
     }
 
@@ -246,6 +270,15 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     /// in attach order.
     pub fn sink(mut self, sink: impl Sink + 'static) -> Self {
         self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Arm an injected process fault (failure-injection harness): the
+    /// run aborts with [`PipelineError::Crash`] at the configured
+    /// [`CrashPoint`], leaving partial durable state exactly as a kill
+    /// at that instruction would.
+    pub fn crash_switch(mut self, switch: CrashSwitch) -> Self {
+        self.crash = Some(switch);
         self
     }
 
@@ -282,7 +315,156 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             snapshot: Vec::new(),
             open: 0,
             stats: PipelineStats::default(),
+            crash: self.crash,
         }
+    }
+
+    /// Assemble a pipeline that *continues* a checkpointed run instead
+    /// of starting fresh.
+    ///
+    /// The builder must be configured identically to the run that wrote
+    /// the snapshot — same table, interval geometry, detector, γ and
+    /// scheme; the checkpoint's fingerprint is validated against every
+    /// one of them and a [`CheckpointError::Mismatch`] names the first
+    /// disagreement. The caller is responsible for (a) truncating
+    /// durable sink output to [`Checkpoint::intervals_sealed`] records
+    /// (see [`crate::RotatingJsonlSink::resume`]) *before* attaching the
+    /// sinks, and (b) advancing the packet source past
+    /// [`Checkpoint::offered`] records (see [`crate::skip_offered`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no table was provided (same contract as
+    /// [`PipelineBuilder::build`]).
+    pub fn resume(self, ckpt: &Checkpoint) -> std::result::Result<Pipeline<'t, D>, CheckpointError> {
+        let mismatch = |what: &str, have: String, want: String| {
+            CheckpointError::Mismatch(format!("{what}: pipeline has {have}, checkpoint has {want}"))
+        };
+        let c = &ckpt.config;
+        if self.interval_secs != c.interval_secs {
+            return Err(mismatch(
+                "interval_secs",
+                self.interval_secs.to_string(),
+                c.interval_secs.to_string(),
+            ));
+        }
+        if self.start_unix != c.start_unix {
+            return Err(mismatch(
+                "start_unix",
+                self.start_unix.to_string(),
+                c.start_unix.to_string(),
+            ));
+        }
+        if self.n_intervals.map(|n| n as u64) != c.n_intervals {
+            return Err(mismatch(
+                "n_intervals",
+                format!("{:?}", self.n_intervals),
+                format!("{:?}", c.n_intervals),
+            ));
+        }
+        if self.gamma.to_bits() != c.gamma.to_bits() {
+            return Err(mismatch("gamma", self.gamma.to_string(), c.gamma.to_string()));
+        }
+        if self.scheme != c.scheme {
+            return Err(mismatch(
+                "scheme",
+                format!("{:?}", self.scheme),
+                format!("{:?}", c.scheme),
+            ));
+        }
+        let name = self.detector.name();
+        if name != c.detector {
+            return Err(mismatch("detector", name, c.detector.clone()));
+        }
+        let table = self.table.expect("PipelineBuilder needs a table (.table or .frozen)");
+        let n_routes = table.get().len();
+        if n_routes as u64 != c.n_routes {
+            return Err(mismatch(
+                "routing table size",
+                n_routes.to_string(),
+                c.n_routes.to_string(),
+            ));
+        }
+        // Every checkpointed key must still resolve to the same prefix
+        // in this table — otherwise key ids would silently change
+        // meaning mid-run.
+        for (id, &(route, prefix)) in ckpt.keys.iter().enumerate() {
+            if route as usize >= n_routes {
+                return Err(CheckpointError::State(format!(
+                    "key {id}: route {route} outside the table"
+                )));
+            }
+            let actual = table.get().prefix(route);
+            if actual != prefix {
+                return Err(mismatch(
+                    &format!("key {id} prefix"),
+                    actual.to_string(),
+                    prefix.to_string(),
+                ));
+            }
+        }
+        let key_alloc = KeyAllocator::from_key_routes(
+            n_routes,
+            &ckpt.keys.iter().map(|&(route, _)| route).collect::<Vec<_>>(),
+        )
+        .map_err(CheckpointError::State)?;
+        let classifier =
+            OnlineClassifier::from_state(self.detector, self.gamma, self.scheme, ckpt.state.clone())
+                .map_err(CheckpointError::State)?;
+        let open = ckpt.open as usize;
+        if let Some(n) = self.n_intervals {
+            if open > n {
+                return Err(CheckpointError::State(format!(
+                    "checkpoint sealed {open} intervals but the run is bounded to {n}"
+                )));
+            }
+        }
+        // Rebuild the open interval's dense byte row.
+        let n_keys = ckpt.keys.len();
+        let mut row = vec![0u64; n_keys];
+        let mut touched = Vec::with_capacity(ckpt.row.len());
+        for &(key, bytes) in &ckpt.row {
+            let slot = row
+                .get_mut(key as usize)
+                .ok_or_else(|| CheckpointError::State(format!("row key {key} has no key entry")))?;
+            if *slot != 0 || bytes == 0 {
+                return Err(CheckpointError::State(format!("row key {key} duplicated or zero")));
+            }
+            *slot = bytes;
+            touched.push(key);
+        }
+        let (start_ns, interval_ns) =
+            eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
+        Ok(Pipeline {
+            table,
+            interval_secs: self.interval_secs,
+            secs: self.interval_secs as f64,
+            start_unix: self.start_unix,
+            start_ns,
+            interval_ns,
+            n_intervals: self.n_intervals,
+            classifier,
+            sinks: self.sinks,
+            key_alloc,
+            route_scratch: Vec::new(),
+            far_future_streak: ckpt.far_future_streak,
+            keys: ckpt.keys.iter().map(|&(_, prefix)| prefix).collect(),
+            row,
+            touched,
+            snapshot: Vec::new(),
+            open,
+            stats: ckpt.stats,
+            crash: self.crash,
+        })
+    }
+
+    /// [`PipelineBuilder::resume`] from a serialized checkpoint stream.
+    pub fn resume_from<R: std::io::Read>(
+        self,
+        input: &mut R,
+    ) -> std::result::Result<Pipeline<'t, D>, CheckpointError> {
+        let ckpt = Checkpoint::read_from(input)?;
+        self.resume(&ckpt)
     }
 }
 
@@ -323,6 +505,8 @@ pub struct Pipeline<'t, D: ThresholdDetector> {
     /// Index of the open (not yet sealed) interval.
     open: usize,
     stats: PipelineStats,
+    /// Armed process-fault injection (tests only; `None` in production).
+    crash: Option<CrashSwitch>,
 }
 
 impl<D: ThresholdDetector> Pipeline<'_, D> {
@@ -373,8 +557,32 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
     /// the accounting stays truthful even when a sink or the source
     /// errors mid-run).
     pub fn run<S: PacketSource>(&mut self, mut source: S) -> Result<()> {
+        self.run_inner(&mut source, None)
+    }
+
+    /// [`Pipeline::run`], writing a [`Checkpointer`]'s snapshot at every
+    /// source chunk boundary where its cadence says one is due. Only
+    /// chunk boundaries qualify — that is what lets
+    /// [`crate::skip_offered`] replay a fresh source to *exactly* the
+    /// checkpoint's consumption count on resume.
+    pub fn run_checkpointed<S: PacketSource>(
+        &mut self,
+        mut source: S,
+        checkpointer: &mut Checkpointer,
+    ) -> Result<()> {
+        self.run_inner(&mut source, Some(checkpointer))
+    }
+
+    fn run_inner<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+        mut checkpointer: Option<&mut Checkpointer>,
+    ) -> Result<()> {
         let mut buf: Vec<PacketMeta> = Vec::with_capacity(RUN_BUFFER);
-        let mut folded: u64 = 0;
+        // A resumed source has already produced malformed records for
+        // the skipped (already-checkpointed) span; fold only the deltas
+        // from here on or they would be double-counted.
+        let mut folded: u64 = source.malformed();
         loop {
             buf.clear();
             let pulled = source.next_chunk(&mut buf);
@@ -386,6 +594,9 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
                 Err(e) => return Err(e.into()),
                 Ok(0) => return Ok(()),
                 Ok(_) => self.observe_chunk(&buf)?,
+            }
+            if let Some(ckpt) = checkpointer.as_deref_mut() {
+                ckpt.maybe_write(self)?;
             }
         }
     }
@@ -507,7 +718,13 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
             self.snapshot.push((key, (bytes as f64 * 8.0 / self.secs) as f32));
         }
         self.touched.clear();
+        let seal_index = self.open;
         let outcome = self.classifier.observe(&self.snapshot);
+        if self.crash_now(CrashPoint::AfterSeal, seal_index) {
+            // The classifier advanced in memory only; nothing durable
+            // recorded this interval. A resume replays it entirely.
+            return Err(PipelineError::Crash(CrashPoint::AfterSeal));
+        }
         let sealed = SealedInterval {
             outcome: &outcome,
             interval_start_unix: self.start_unix + self.open as u64 * self.interval_secs,
@@ -518,7 +735,57 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
             sink.on_interval(&sealed)?;
         }
         self.open += 1;
+        if self.crash_now(CrashPoint::AfterSink, seal_index) {
+            // The sinks hold one more interval than the last checkpoint
+            // records; resume must truncate the duplicate.
+            return Err(PipelineError::Crash(CrashPoint::AfterSink));
+        }
         Ok(())
+    }
+
+    /// Poll the armed crash switch (no-op without one).
+    pub(crate) fn crash_now(&mut self, point: CrashPoint, seal_index: usize) -> bool {
+        self.crash
+            .as_mut()
+            .is_some_and(|switch| switch.should_crash(point, seal_index))
+    }
+
+    /// Serialize the full recovery frontier (see [`Checkpoint`] and the
+    /// `checkpoint` module docs for format and semantics). Call at a
+    /// source chunk boundary — [`Pipeline::run_checkpointed`] does this
+    /// automatically.
+    pub fn checkpoint<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        self.export_checkpoint().write_to(out)
+    }
+
+    /// The decoded form of [`Pipeline::checkpoint`].
+    pub(crate) fn export_checkpoint(&self) -> Checkpoint {
+        let key_routes = self.key_alloc.key_routes();
+        debug_assert_eq!(key_routes.len(), self.keys.len());
+        let mut row: Vec<(KeyId, u64)> =
+            self.touched.iter().map(|&key| (key, self.row[key as usize])).collect();
+        row.sort_unstable();
+        Checkpoint {
+            config: CheckpointConfig {
+                interval_secs: self.interval_secs,
+                start_unix: self.start_unix,
+                n_intervals: self.n_intervals.map(|n| n as u64),
+                gamma: self.classifier.gamma(),
+                scheme: self.classifier.scheme(),
+                detector: self.classifier.detector_name(),
+                n_routes: self.table.get().len() as u64,
+            },
+            open: self.open as u64,
+            far_future_streak: self.far_future_streak,
+            stats: self.stats,
+            keys: key_routes
+                .iter()
+                .zip(&self.keys)
+                .map(|(&route, &prefix)| (route, prefix))
+                .collect(),
+            row,
+            state: self.classifier.export_state(),
+        }
     }
 
     /// Seal the remaining window and flush the sinks.
@@ -547,12 +814,21 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
             stats: self.stats,
             intervals: self.open,
             keys: self.keys,
+            far_future_streak: self.far_future_streak,
         })
     }
 
     /// Current packet accounting.
     pub fn stats(&self) -> PipelineStats {
         self.stats
+    }
+
+    /// Consecutive far-future rejects right now (unbounded mode trips
+    /// [`PipelineError::GapExceeded`] when this reaches the tolerance) —
+    /// a nonzero value at end of run means the capture tail was
+    /// suspicious.
+    pub fn far_future_streak(&self) -> u32 {
+        self.far_future_streak
     }
 
     /// Intervals sealed so far.

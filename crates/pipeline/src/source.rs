@@ -4,7 +4,7 @@ use std::io::Read;
 
 use eleph_packet::pcap::PcapReader;
 use eleph_packet::{parse_buf_meta, LinkType, PacketMeta};
-use eleph_trace::{PacketSynth, RateTrace};
+use eleph_trace::{FaultAction, FaultInjector, FaultStats, PacketSynth, RateTrace};
 
 /// Records decoded per [`PacketSource::next_chunk`] call on the pcap
 /// path: large enough to amortize the virtual call, small enough that
@@ -32,6 +32,19 @@ pub trait PacketSource {
     /// captured record, parseable or not).
     fn malformed(&self) -> u64 {
         0
+    }
+}
+
+/// A `&mut` source is a source: lets callers keep ownership across
+/// [`crate::Pipeline::run`] to read source-side state (fault counters,
+/// malformed totals) after the run.
+impl<S: PacketSource + ?Sized> PacketSource for &mut S {
+    fn next_chunk(&mut self, out: &mut Vec<PacketMeta>) -> eleph_packet::Result<usize> {
+        (**self).next_chunk(out)
+    }
+
+    fn malformed(&self) -> u64 {
+        (**self).malformed()
     }
 }
 
@@ -84,6 +97,76 @@ impl<R: Read> PacketSource for PcapSource<R> {
                     }
                     Err(_) => self.malformed += 1,
                 },
+            }
+        }
+    }
+
+    fn malformed(&self) -> u64 {
+        self.malformed
+    }
+}
+
+/// A [`PcapSource`] with a [`FaultInjector`] between the capture and
+/// the parser: every record is offered to the injector first, so drops
+/// vanish before parsing while corruption/truncation usually surface as
+/// malformed packets — the same path `eleph run`'s `--fault-*` flags
+/// exercise for degraded-input drills.
+///
+/// Deterministic in the injector's seed: replaying the same capture
+/// with the same config reproduces the identical packet stream, which
+/// is what lets a checkpointed faulted run resume exactly (the resume
+/// replays the skipped records through a fresh injector, realigning the
+/// RNG stream).
+pub struct FaultedPcapSource<R: Read> {
+    reader: PcapReader<R>,
+    link: LinkType,
+    injector: FaultInjector,
+    buf: Vec<u8>,
+    malformed: u64,
+}
+
+impl<R: Read> FaultedPcapSource<R> {
+    /// Open a pcap stream with fault injection.
+    pub fn new(input: R, injector: FaultInjector) -> eleph_packet::Result<Self> {
+        let reader = PcapReader::new(input)?;
+        let link = LinkType::from_code(reader.header().linktype)?;
+        Ok(FaultedPcapSource {
+            reader,
+            link,
+            injector,
+            buf: Vec::new(),
+            malformed: 0,
+        })
+    }
+
+    /// What the injector did so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+}
+
+impl<R: Read> PacketSource for FaultedPcapSource<R> {
+    fn next_chunk(&mut self, out: &mut Vec<PacketMeta>) -> eleph_packet::Result<usize> {
+        let base = out.len();
+        loop {
+            match self.reader.next_record_into(&mut self.buf)? {
+                None => return Ok(out.len() - base),
+                Some(head) => {
+                    if self.injector.apply(&mut self.buf) == FaultAction::Dropped {
+                        // Dropped before capture from the pipeline's
+                        // point of view: not offered, not malformed.
+                        continue;
+                    }
+                    match parse_buf_meta(self.link, &self.buf, &head) {
+                        Ok(meta) => {
+                            out.push(meta);
+                            if out.len() - base >= SOURCE_CHUNK {
+                                return Ok(out.len() - base);
+                            }
+                        }
+                        Err(_) => self.malformed += 1,
+                    }
+                }
             }
         }
     }

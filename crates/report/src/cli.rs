@@ -15,14 +15,17 @@
 //! same parsing, same experiment functions, byte-identical output —
 //! and announce their deprecation in `--help`.
 
-use std::io::{self, Write};
+use std::io;
 
 use eleph_core::{
     AestDetector, ConstantLoadDetector, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
     PAPER_LATENT_WINDOW,
 };
-use eleph_pipeline::{JsonlSink, PcapSource, PipelineBuilder, TraceSource};
-use eleph_trace::{RateTrace, WorkloadConfig};
+use eleph_pipeline::{
+    skip_offered, Checkpoint, Checkpointer, FaultedPcapSource, JsonlSink, PacketSource,
+    PcapSource, Pipeline, PipelineBuilder, PipelineReport, RotatingJsonlSink, TraceSource,
+};
+use eleph_trace::{FaultConfig, FaultInjector, FaultStats, RateTrace, WorkloadConfig};
 
 use crate::experiments::{
     ablation_beta, ablation_gamma, ablation_scheme, ablation_window, fig1_data, fig1a, fig1b,
@@ -175,6 +178,34 @@ RUN OPTIONS (eleph run):
     --window N                 latent-heat window (default 12)
     --enter F / --exit F       hysteresis thresholds (default 1.2 / 0.6)
     --out FILE                 JSONL destination (default stdout)
+    --rotate-bytes N           rotate --out when it would exceed N bytes
+                               (current file stays at FILE; older
+                               segments are FILE.1, FILE.2, ... in
+                               chronological order)
+    --checkpoint-dir DIR       write crash-safe snapshots (eleph.ckpt,
+                               atomic temp+fsync+rename) into DIR
+    --checkpoint-every N       snapshot cadence in sealed intervals
+                               (default 1; checked at source chunk
+                               boundaries)
+    --resume                   continue from DIR's checkpoint: requires
+                               --checkpoint-dir and --out; truncates the
+                               output chain to the checkpointed interval
+                               count (exactly-once emission), replays
+                               the source past the consumed records, and
+                               continues bit-identically to an
+                               uninterrupted run. Falls back to a fresh
+                               start when no checkpoint exists yet.
+    --fault-drop F             inject packet faults on the pcap path
+    --fault-corrupt F          (probabilities in [0,1]; counters appear
+    --fault-truncate F         in the end-of-run summary)
+    --fault-seed N             fault injector RNG seed (default 0)
+
+The end of a run prints one JSON summary line on stderr: intervals
+sealed, prefix count, every packet-accounting counter (offered,
+attributed, attributed_bytes, unroutable, out_of_window, malformed,
+late, conserved, far_future_streak) and the fault-injection counters
+(seen, dropped, corrupted, truncated), so degraded-input runs are
+visible without grepping logs.
 ";
 
 /// Entry point for the `eleph` binary: parse `argv[1..]` and dispatch.
@@ -292,6 +323,22 @@ pub struct RunOpts {
     pub exit: f64,
     /// JSONL destination (`None` = stdout).
     pub out: Option<String>,
+    /// Rotate the output file when it would exceed this many bytes.
+    pub rotate_bytes: Option<u64>,
+    /// Directory for crash-safe checkpoints (`None` = no checkpoints).
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in sealed intervals.
+    pub checkpoint_every: usize,
+    /// Continue from the checkpoint in `checkpoint_dir`.
+    pub resume: bool,
+    /// Fault-injection drop probability (pcap path only).
+    pub fault_drop: f64,
+    /// Fault-injection bit-flip probability (pcap path only).
+    pub fault_corrupt: f64,
+    /// Fault-injection truncation probability (pcap path only).
+    pub fault_truncate: f64,
+    /// Fault injector RNG seed.
+    pub fault_seed: u64,
 }
 
 impl Default for RunOpts {
@@ -314,6 +361,14 @@ impl Default for RunOpts {
             enter: 1.2,
             exit: 0.6,
             out: None,
+            rotate_bytes: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            fault_drop: 0.0,
+            fault_corrupt: 0.0,
+            fault_truncate: 0.0,
+            fault_seed: 0,
         }
     }
 }
@@ -365,6 +420,37 @@ impl RunOpts {
                 "--enter" => o.enter = value(&mut i, args).parse().expect("--enter takes a float"),
                 "--exit" => o.exit = value(&mut i, args).parse().expect("--exit takes a float"),
                 "--out" => o.out = Some(value(&mut i, args)),
+                "--rotate-bytes" => {
+                    o.rotate_bytes =
+                        Some(value(&mut i, args).parse().expect("--rotate-bytes takes bytes"))
+                }
+                "--checkpoint-dir" => o.checkpoint_dir = Some(value(&mut i, args)),
+                "--checkpoint-every" => {
+                    o.checkpoint_every = value(&mut i, args)
+                        .parse()
+                        .expect("--checkpoint-every takes an interval count")
+                }
+                "--resume" => {
+                    o.resume = true;
+                    i += 1;
+                }
+                "--fault-drop" => {
+                    o.fault_drop =
+                        value(&mut i, args).parse().expect("--fault-drop takes a probability")
+                }
+                "--fault-corrupt" => {
+                    o.fault_corrupt =
+                        value(&mut i, args).parse().expect("--fault-corrupt takes a probability")
+                }
+                "--fault-truncate" => {
+                    o.fault_truncate = value(&mut i, args)
+                        .parse()
+                        .expect("--fault-truncate takes a probability")
+                }
+                "--fault-seed" => {
+                    o.fault_seed =
+                        value(&mut i, args).parse().expect("--fault-seed takes an integer")
+                }
                 other => panic!("unknown argument {other}; try `eleph help`"),
             }
         }
@@ -372,7 +458,38 @@ impl RunOpts {
             o.pcap.is_some() != o.synth,
             "eleph run needs exactly one of --pcap FILE or --synth"
         );
+        assert!(
+            !o.resume || o.checkpoint_dir.is_some(),
+            "--resume needs --checkpoint-dir DIR (where the checkpoint lives)"
+        );
+        assert!(
+            !o.resume || o.out.is_some(),
+            "--resume needs --out FILE (stdout cannot be truncated to the checkpointed length)"
+        );
+        assert!(
+            o.rotate_bytes.is_none() || o.out.is_some(),
+            "--rotate-bytes needs --out FILE"
+        );
+        assert!(
+            !o.wants_faults() || o.pcap.is_some(),
+            "--fault-* flags apply to the pcap path only"
+        );
         o
+    }
+
+    /// Whether any fault-injection probability is non-zero.
+    pub fn wants_faults(&self) -> bool {
+        self.fault_drop != 0.0 || self.fault_corrupt != 0.0 || self.fault_truncate != 0.0
+    }
+
+    /// The configured fault injector settings.
+    pub fn fault_config(&self) -> FaultConfig {
+        FaultConfig {
+            drop_prob: self.fault_drop,
+            corrupt_prob: self.fault_corrupt,
+            truncate_prob: self.fault_truncate,
+            seed: self.fault_seed,
+        }
     }
 
     /// The configured detector, chosen at runtime.
@@ -426,24 +543,65 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         }
     };
 
-    let sink: JsonlSink<Box<dyn Write>> = JsonlSink::new(match &opts.out {
-        Some(path) => Box::new(io::BufWriter::new(std::fs::File::create(path)?)),
-        None => Box::new(io::BufWriter::new(io::stdout())),
-    });
+    // Checkpoint/resume plumbing: the checkpoint must be loaded before
+    // the sink exists, because resuming truncates the output chain to
+    // exactly the checkpointed interval count (exactly-once emission).
+    let mut checkpointer = match &opts.checkpoint_dir {
+        Some(dir) => Some(Checkpointer::new(dir, opts.checkpoint_every)?),
+        None => None,
+    };
+    let ckpt: Option<Checkpoint> = if opts.resume {
+        let path = checkpointer.as_ref().expect("validated in parse").path();
+        if path.exists() {
+            let c = Checkpoint::load(path)
+                .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+            eprintln!(
+                "eleph run: resuming from {} ({} intervals sealed, {} records consumed)",
+                path.display(),
+                c.intervals_sealed(),
+                c.offered(),
+            );
+            Some(c)
+        } else {
+            // A kill can land before the first checkpoint is written;
+            // falling back to a fresh start keeps `--resume` safe to
+            // use unconditionally in supervisors and retry loops.
+            eprintln!(
+                "eleph run: --resume but no checkpoint at {}; starting fresh",
+                path.display()
+            );
+            None
+        }
+    } else {
+        None
+    };
 
-    let builder = PipelineBuilder::new()
+    let mut builder = PipelineBuilder::new()
         .table(&table)
         .detector(opts.make_detector())
         .gamma(opts.gamma)
-        .scheme(opts.make_scheme())
-        .sink(sink);
+        .scheme(opts.make_scheme());
+    builder = match &opts.out {
+        Some(path) => builder.sink(match &ckpt {
+            Some(c) => RotatingJsonlSink::resume(
+                path,
+                opts.rotate_bytes,
+                c.intervals_sealed() as u64,
+            )?,
+            None => RotatingJsonlSink::create(path, opts.rotate_bytes)?,
+        }),
+        None => builder.sink(JsonlSink::new(io::BufWriter::new(io::stdout()))),
+    };
 
+    let mut fault_stats: Option<FaultStats> = None;
     let report = if let Some(path) = &opts.pcap {
         let interval_secs = opts.interval_secs.unwrap_or(300);
         // Without an explicit start, anchor the window at the first
         // packet's interval: real captures carry epoch timestamps, and
         // starting at 0 would make the pipeline seal decades of empty
-        // intervals before the first real one.
+        // intervals before the first real one. (Deterministic per file,
+        // so a resumed run re-derives the same anchor and passes the
+        // checkpoint's config fingerprint check.)
         let start_unix = match opts.start_unix {
             Some(t) => t,
             None => {
@@ -460,13 +618,19 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         if let Some(n) = opts.intervals {
             builder = builder.n_intervals(n);
         }
-        let mut pipeline = builder.build();
-        let source = PcapSource::new(std::fs::File::open(path)?)
-            .map_err(|e| io::Error::other(format!("{path}: {e}")))?;
-        pipeline
-            .run(source)
-            .map_err(|e| io::Error::other(e.to_string()))?;
-        pipeline.finish().map_err(|e| io::Error::other(e.to_string()))?
+        let file = std::fs::File::open(path)?;
+        let map_src = |e: eleph_packet::PacketError| io::Error::other(format!("{path}: {e}"));
+        if opts.wants_faults() {
+            let injector = FaultInjector::try_new(opts.fault_config())
+                .map_err(io::Error::other)?;
+            let mut source = FaultedPcapSource::new(file, injector).map_err(map_src)?;
+            let report = drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?;
+            fault_stats = Some(source.fault_stats());
+            report
+        } else {
+            let mut source = PcapSource::new(file).map_err(map_src)?;
+            drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?
+        }
     } else {
         let config = WorkloadConfig {
             n_flows: opts.flows,
@@ -475,22 +639,68 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
             ..WorkloadConfig::small_test(opts.seed)
         };
         let trace = RateTrace::generate(&config, &table);
-        let mut pipeline = builder
+        let builder = builder
             .interval_secs(config.interval_secs)
             .start_unix(config.start_unix)
-            .n_intervals(config.n_intervals)
-            .build();
-        pipeline
-            .run(TraceSource::new(&trace))
-            .map_err(|e| io::Error::other(e.to_string()))?;
-        pipeline.finish().map_err(|e| io::Error::other(e.to_string()))?
+            .n_intervals(config.n_intervals);
+        let mut source = TraceSource::new(&trace);
+        drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?
     };
 
-    let s = report.stats;
-    eprintln!(
-        "eleph run: {} intervals sealed, {} prefixes; {} packets offered, \
-         {} attributed ({} bytes), {} unroutable, {} out-of-window, \
-         {} malformed, {} late (conserved: {})",
+    eprintln!("{}", summary_json(&opts, &report, ckpt.is_some(), fault_stats));
+    Ok(())
+}
+
+/// Build the pipeline (fresh or resumed), replay past the checkpoint's
+/// consumed records, and run it to completion — the shared tail of every
+/// `eleph run` source/configuration combination.
+///
+/// Takes the source by `&mut` so the caller keeps ownership and can read
+/// source-side state (fault counters) after the run.
+fn drive<D: ThresholdDetector, S: PacketSource>(
+    builder: PipelineBuilder<'_, D>,
+    source: &mut S,
+    ckpt: Option<&Checkpoint>,
+    checkpointer: Option<&mut Checkpointer>,
+) -> io::Result<PipelineReport> {
+    let mut pipeline: Pipeline<'_, D> = match ckpt {
+        Some(c) => builder
+            .resume(c)
+            .map_err(|e| io::Error::other(format!("checkpoint rejected: {e}")))?,
+        None => builder.build(),
+    };
+    if let Some(c) = ckpt {
+        // Sources replay deterministically, so skipping to the
+        // checkpoint's consumed-record count (parsed + malformed, both
+        // already folded into `offered`) realigns the stream with the
+        // restored classifier state.
+        skip_offered(&mut *source, c.offered())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+    }
+    match checkpointer {
+        Some(ck) => pipeline.run_checkpointed(&mut *source, ck),
+        None => pipeline.run(&mut *source),
+    }
+    .map_err(|e| io::Error::other(e.to_string()))?;
+    pipeline.finish().map_err(|e| io::Error::other(e.to_string()))
+}
+
+/// The end-of-run summary as one JSON line: interval/prefix counts,
+/// every packet-accounting counter, the conservation verdict, the
+/// far-future-streak high-water mark, and (when fault injection is on)
+/// the injector's counters — machine-checkable run health at a glance.
+fn summary_json(
+    opts: &RunOpts,
+    report: &PipelineReport,
+    resumed: bool,
+    fault_stats: Option<FaultStats>,
+) -> String {
+    let s = &report.stats;
+    let mut line = format!(
+        "{{\"eleph_run\":{{\"intervals\":{},\"prefixes\":{},\"offered\":{},\
+         \"attributed\":{},\"attributed_bytes\":{},\"unroutable\":{},\
+         \"out_of_window\":{},\"malformed\":{},\"late\":{},\"conserved\":{},\
+         \"far_future_streak\":{},\"resumed\":{}",
         report.intervals,
         report.keys.len(),
         s.offered,
@@ -501,8 +711,23 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         s.malformed,
         s.late,
         s.is_conserved(),
+        report.far_future_streak,
+        resumed,
     );
-    Ok(())
+    if let Some(dir) = &opts.checkpoint_dir {
+        line.push_str(&format!(
+            ",\"checkpoint_dir\":{:?},\"checkpoint_every\":{}",
+            dir, opts.checkpoint_every
+        ));
+    }
+    if let Some(f) = fault_stats {
+        line.push_str(&format!(
+            ",\"fault\":{{\"seen\":{},\"dropped\":{},\"corrupted\":{},\"truncated\":{}}}",
+            f.seen, f.dropped, f.corrupted, f.truncated
+        ));
+    }
+    line.push_str("}}");
+    line
 }
 
 /// Unix second of the first record in a pcap file (0 for an empty

@@ -33,6 +33,24 @@ impl FaultConfig {
             seed: 0,
         }
     }
+
+    /// Check every probability is a real number in [0, 1].
+    ///
+    /// `gen_bool`-style sampling silently misbehaves on NaN or
+    /// out-of-range values, so a config is rejected up front with the
+    /// offending field named.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("truncate_prob", self.truncate_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Counters for what the injector did.
@@ -67,12 +85,23 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     /// Create an injector; deterministic in `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a probability is NaN or outside [0, 1] (see
+    /// [`FaultInjector::try_new`] for the non-panicking form).
     pub fn new(config: FaultConfig) -> Self {
-        FaultInjector {
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid fault config: {e}"))
+    }
+
+    /// Create an injector, rejecting NaN / out-of-range probabilities.
+    pub fn try_new(config: FaultConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(FaultInjector {
             rng: StdRng::seed_from_u64(config.seed),
             config,
             stats: FaultStats::default(),
-        }
+        })
     }
 
     /// Apply faults to one packet in place.
@@ -99,6 +128,82 @@ impl FaultInjector {
     /// Counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+}
+
+/// Where, within the seal → emit → checkpoint sequence, a *process*
+/// fault strikes. Packet damage (above) exercises the input path; these
+/// exercise the recovery path — each point leaves a distinct on-disk
+/// state the resume logic must reconcile:
+///
+/// - [`CrashPoint::AfterSeal`]: the classifier advanced in memory but
+///   the interval never reached a sink — resume replays it from the
+///   previous checkpoint.
+/// - [`CrashPoint::AfterSink`]: the interval is durably written but the
+///   checkpoint still describes the previous one — resume must truncate
+///   the duplicate record before replaying.
+/// - [`CrashPoint::MidCheckpointWrite`]: the new snapshot is torn —
+///   resume must fall back to the last complete checkpoint, never read
+///   a partial one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// After an interval seals, before any sink sees it.
+    AfterSeal,
+    /// After the sinks wrote the interval, before the checkpoint.
+    AfterSink,
+    /// Midway through writing the checkpoint file.
+    MidCheckpointWrite,
+}
+
+impl CrashPoint {
+    /// Every crash point, for exhaustive harness loops.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::AfterSeal,
+        CrashPoint::AfterSink,
+        CrashPoint::MidCheckpointWrite,
+    ];
+}
+
+/// A one-shot trigger that simulates a crash at a chosen [`CrashPoint`]
+/// on a chosen interval. The pipeline polls it at each point; when it
+/// trips, the run aborts exactly as a SIGKILL would at that instruction
+/// (no unwinding of already-durable effects).
+#[derive(Debug, Clone)]
+pub struct CrashSwitch {
+    point: CrashPoint,
+    at_seal: usize,
+    tripped: bool,
+}
+
+impl CrashSwitch {
+    /// Crash at `point` while sealing interval `at_seal` (0-based).
+    pub fn new(point: CrashPoint, at_seal: usize) -> Self {
+        CrashSwitch {
+            point,
+            at_seal,
+            tripped: false,
+        }
+    }
+
+    /// Poll the switch: true exactly once, at the configured point and
+    /// interval.
+    pub fn should_crash(&mut self, point: CrashPoint, seal_index: usize) -> bool {
+        if !self.tripped && point == self.point && seal_index == self.at_seal {
+            self.tripped = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured crash point.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// Whether the switch already fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
     }
 }
 
@@ -206,6 +311,53 @@ mod tests {
         let (b, sb) = run();
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn bad_probabilities_are_rejected() {
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let config = FaultConfig {
+                drop_prob: bad,
+                ..FaultConfig::none()
+            };
+            let err = FaultInjector::try_new(config).unwrap_err();
+            assert!(err.contains("drop_prob"), "error names the field: {err}");
+        }
+        let config = FaultConfig {
+            truncate_prob: 2.0,
+            ..FaultConfig::none()
+        };
+        assert!(FaultInjector::try_new(config).unwrap_err().contains("truncate_prob"));
+        // Boundary values are legal.
+        for p in [0.0, 1.0] {
+            let config = FaultConfig {
+                drop_prob: p,
+                corrupt_prob: p,
+                truncate_prob: p,
+                ..FaultConfig::none()
+            };
+            assert!(FaultInjector::try_new(config).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn new_panics_on_nan() {
+        let _ = FaultInjector::new(FaultConfig {
+            corrupt_prob: f64::NAN,
+            ..FaultConfig::none()
+        });
+    }
+
+    #[test]
+    fn crash_switch_fires_exactly_once() {
+        let mut switch = CrashSwitch::new(CrashPoint::AfterSink, 2);
+        assert!(!switch.should_crash(CrashPoint::AfterSeal, 2), "wrong point");
+        assert!(!switch.should_crash(CrashPoint::AfterSink, 1), "wrong interval");
+        assert!(!switch.tripped());
+        assert!(switch.should_crash(CrashPoint::AfterSink, 2));
+        assert!(switch.tripped());
+        assert!(!switch.should_crash(CrashPoint::AfterSink, 2), "one-shot");
     }
 
     #[test]

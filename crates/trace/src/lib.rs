@@ -45,7 +45,7 @@ mod rate;
 
 pub use config::{LinkSpec, WorkloadConfig};
 pub use diurnal::{DiurnalProfile, GaussianPeak};
-pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
+pub use fault::{CrashPoint, CrashSwitch, FaultAction, FaultConfig, FaultInjector, FaultStats};
 pub use flows::{FlowId, FlowKind, FlowMeta, FlowPopulation};
 pub use packets::{PacketMix, PacketSynth};
 pub use rate::RateTrace;

@@ -104,4 +104,55 @@ fn main() {
          {mean_fraction:.2}; {} intervals tripped the >70% early alert",
         busy_intervals.load(Ordering::Relaxed),
     );
+
+    // 5. Crash safety. A long-horizon monitor cannot afford to lose its
+    //    latent-heat standing to a restart, so the pipeline serializes
+    //    its full recovery frontier — classifier window, EWMA threshold
+    //    state, key allocation, the open interval — into a checksummed
+    //    snapshot, and a new process resumes from it bit-identically.
+    //    (`eleph run --checkpoint-dir DIR --resume` does this across
+    //    real kills; tests/tests/checkpoint_restore.rs pins the full
+    //    kill/resume matrix.)
+    let monitor = || {
+        PipelineBuilder::new()
+            .table(&table)
+            .interval_secs(workload.interval_secs)
+            .start_unix(workload.start_unix)
+            .n_intervals(workload.n_intervals)
+            .detector(ConstantLoadDetector::new(0.8))
+            .gamma(PAPER_GAMMA)
+            .scheme(Scheme::LatentHeat {
+                window: PAPER_LATENT_WINDOW,
+            })
+    };
+    let mut first_process = monitor().build();
+    first_process
+        .run(TraceSource::window(&trace, 0..24))
+        .expect("first half");
+    let mut snapshot = Vec::new();
+    first_process.checkpoint(&mut snapshot).expect("snapshot");
+    drop(first_process); // …the monitor dies here…
+
+    let resumed_outcomes = eleph_pipeline::Collector::new();
+    let mut second_process = monitor()
+        .sink(resumed_outcomes.sink())
+        .resume_from(&mut snapshot.as_slice())
+        .expect("restore snapshot");
+    second_process
+        .run(TraceSource::window(&trace, 24..48))
+        .expect("second half");
+    second_process.finish().expect("resumed finish");
+    let resumed_last = resumed_outcomes.take().pop().expect("final interval");
+    let final_interval = outcomes.last().expect("final interval");
+    assert_eq!(
+        resumed_last.outcome.threshold.to_bits(),
+        final_interval.outcome.threshold.to_bits(),
+        "resumed threshold must match the uninterrupted run to the last bit",
+    );
+    assert_eq!(resumed_last.outcome.elephants, final_interval.outcome.elephants);
+    println!(
+        "\ncheckpoint/restore: stopped after interval 24 ({}-byte snapshot), resumed, \
+         final interval matches the uninterrupted run bit-for-bit",
+        snapshot.len(),
+    );
 }

@@ -18,7 +18,14 @@
 #   6. executables: examples build and the packet-path ones smoke-run,
 #      `eleph run` streams a tiny synthetic workload to JSONL, and the
 #      deprecated per-experiment shims stay byte-identical to their
-#      `eleph` subcommands (fig1a, table1).
+#      `eleph` subcommands (fig1a, table1);
+#   7. crash safety: a checkpointed `eleph run` is SIGKILLed mid-capture
+#      and resumed with `--resume`; the recovered JSONL must be
+#      byte-identical to an uninterrupted reference run (no duplicated,
+#      no missing interval records). The gate is timing-independent: a
+#      kill that lands before the first checkpoint degrades to a fresh
+#      start, one that lands after completion re-seals the tail — both
+#      still must reproduce the reference bytes.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -63,6 +70,24 @@ cargo run -q --release -p eleph-report --bin eleph -- \
     --out "$tmpdir/run.jsonl" 2> /dev/null
 [ "$(wc -l < "$tmpdir/run.jsonl")" -eq 4 ] \
     || { echo "eleph run: expected 4 JSONL intervals" >&2; exit 1; }
+
+echo "== crash safety: SIGKILL a checkpointed run, resume, diff against reference =="
+eleph=target/release/eleph
+crash_args=(run --synth --flows 2000 --intervals 300 --interval-secs 20 --prefixes 2000)
+"$eleph" "${crash_args[@]}" --out "$tmpdir/crash_ref.jsonl" 2> /dev/null
+# The binary is killed directly (not through cargo, which would orphan
+# the child and absorb the signal).
+"$eleph" "${crash_args[@]}" --out "$tmpdir/crash.jsonl" \
+    --checkpoint-dir "$tmpdir/ckpt" 2> /dev/null &
+victim=$!
+sleep 0.2
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null && killed="completed before the kill" || killed="killed mid-run"
+echo "   victim $killed ($(wc -l < "$tmpdir/crash.jsonl") of 300 intervals durable)"
+"$eleph" "${crash_args[@]}" --out "$tmpdir/crash.jsonl" \
+    --checkpoint-dir "$tmpdir/ckpt" --resume 2> /dev/null
+diff "$tmpdir/crash.jsonl" "$tmpdir/crash_ref.jsonl" \
+    || { echo "crash safety: resumed output diverges from reference" >&2; exit 1; }
 
 echo "== legacy shims byte-identical to eleph subcommands (fig1a, table1) =="
 cargo run -q --release -p eleph-report --bin eleph -- fig1a --scale 0.01 --seed 5 > "$tmpdir/eleph_fig1a"
