@@ -1,29 +1,46 @@
-//! Line-oriented text RIB dumps.
+//! Line-oriented text RIB dumps and route update streams.
 //!
-//! Format, one route per line, `|`-separated:
+//! RIB dump format, one route per line, `|`-separated:
 //!
 //! ```text
 //! # comment / header lines start with '#'
 //! 10.0.0.0/8|192.0.2.1|1239 701 3356|IGP|TIER1
 //! ```
 //!
+//! Update stream format ([`read_updates`]/[`write_updates`]), one
+//! update per line prefixed by a unix-seconds timestamp and an action
+//! tag; consecutive lines sharing a timestamp form one
+//! [`UpdateBatch`]:
+//!
+//! ```text
+//! # time|A|prefix|next_hop|as_path|origin|peer_class
+//! # time|W|prefix
+//! 120|A|10.0.0.0/8|192.0.2.1|1239 701|IGP|TIER1
+//! 120|W|172.16.0.0/12
+//! 300|A|10.0.0.0/8|192.0.2.9|7018|EGP|TIER2
+//! ```
+//!
 //! This mirrors the flat text exports of route collectors (e.g. RouteViews
-//! `show ip bgp` dumps) closely enough to be practical while staying
-//! trivially diffable in tests.
+//! `show ip bgp` dumps and MRT `UPDATE` logs) closely enough to be
+//! practical while staying trivially diffable in tests. All parse
+//! errors are typed and carry the 1-based line number plus the
+//! offending token.
 
 use core::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::Ipv4Addr;
 
-use crate::{BgpTable, Origin, PeerClass, RouteEntry};
+use crate::{BgpTable, Origin, PeerClass, RouteEntry, RouteUpdate, UpdateBatch};
 
-/// Errors from parsing a text RIB dump.
+/// Errors from parsing a text RIB dump or update stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DumpError {
     /// Line did not have the expected number of fields.
     FieldCount {
         /// 1-based line number.
         line: usize,
+        /// Fields the line's record kind requires.
+        expected: usize,
         /// Fields found.
         got: usize,
     },
@@ -36,6 +53,15 @@ pub enum DumpError {
         /// Offending content.
         content: String,
     },
+    /// An update stream's timestamps went backwards.
+    NonMonotonic {
+        /// 1-based line number.
+        line: usize,
+        /// Timestamp of the preceding update.
+        prev: u64,
+        /// The out-of-order timestamp found.
+        got: u64,
+    },
     /// Underlying I/O failure.
     Io(String),
 }
@@ -43,11 +69,14 @@ pub enum DumpError {
 impl fmt::Display for DumpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DumpError::FieldCount { line, got } => {
-                write!(f, "line {line}: expected 5 fields, got {got}")
+            DumpError::FieldCount { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
             }
             DumpError::BadField { line, field, content } => {
                 write!(f, "line {line}: bad {field}: {content:?}")
+            }
+            DumpError::NonMonotonic { line, prev, got } => {
+                write!(f, "line {line}: timestamp {got} goes backwards (previous {prev})")
             }
             DumpError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
@@ -81,6 +110,43 @@ pub fn write_dump<W: Write>(table: &BgpTable, mut out: W) -> Result<(), DumpErro
     Ok(())
 }
 
+/// Parse the five route fields (`prefix|next_hop|as_path|origin|
+/// peer_class`) shared by RIB dump lines and announce lines.
+fn parse_route_fields(line_no: usize, fields: &[&str]) -> Result<RouteEntry, DumpError> {
+    debug_assert_eq!(fields.len(), 5);
+    let prefix = fields[0].parse().map_err(|_| DumpError::BadField {
+        line: line_no,
+        field: "prefix",
+        content: fields[0].to_string(),
+    })?;
+    let next_hop: Ipv4Addr = fields[1].parse().map_err(|_| DumpError::BadField {
+        line: line_no,
+        field: "next_hop",
+        content: fields[1].to_string(),
+    })?;
+    let as_path = fields[2]
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<u32>().map_err(|_| DumpError::BadField {
+                line: line_no,
+                field: "as_path",
+                content: t.to_string(),
+            })
+        })
+        .collect::<Result<Vec<u32>, _>>()?;
+    let origin: Origin = fields[3].parse().map_err(|_| DumpError::BadField {
+        line: line_no,
+        field: "origin",
+        content: fields[3].to_string(),
+    })?;
+    let peer_class: PeerClass = fields[4].parse().map_err(|_| DumpError::BadField {
+        line: line_no,
+        field: "peer_class",
+        content: fields[4].to_string(),
+    })?;
+    Ok(RouteEntry { prefix, next_hop, as_path, origin, peer_class })
+}
+
 /// Parse a table from the text format.
 pub fn read_dump<R: Read>(input: R) -> Result<BgpTable, DumpError> {
     let reader = BufReader::new(input);
@@ -96,48 +162,116 @@ pub fn read_dump<R: Read>(input: R) -> Result<BgpTable, DumpError> {
         if fields.len() != 5 {
             return Err(DumpError::FieldCount {
                 line: line_no,
+                expected: 5,
                 got: fields.len(),
             });
         }
-        let prefix = fields[0].parse().map_err(|_| DumpError::BadField {
-            line: line_no,
-            field: "prefix",
-            content: fields[0].to_string(),
-        })?;
-        let next_hop: Ipv4Addr = fields[1].parse().map_err(|_| DumpError::BadField {
-            line: line_no,
-            field: "next_hop",
-            content: fields[1].to_string(),
-        })?;
-        let as_path = fields[2]
-            .split_whitespace()
-            .map(|t| {
-                t.parse::<u32>().map_err(|_| DumpError::BadField {
-                    line: line_no,
-                    field: "as_path",
-                    content: t.to_string(),
-                })
-            })
-            .collect::<Result<Vec<u32>, _>>()?;
-        let origin: Origin = fields[3].parse().map_err(|_| DumpError::BadField {
-            line: line_no,
-            field: "origin",
-            content: fields[3].to_string(),
-        })?;
-        let peer_class: PeerClass = fields[4].parse().map_err(|_| DumpError::BadField {
-            line: line_no,
-            field: "peer_class",
-            content: fields[4].to_string(),
-        })?;
-        table.insert(RouteEntry {
-            prefix,
-            next_hop,
-            as_path,
-            origin,
-            peer_class,
-        });
+        table.insert(parse_route_fields(line_no, &fields)?);
     }
     Ok(table)
+}
+
+/// Serialise timed update batches to the update-stream text format.
+pub fn write_updates<W: Write>(batches: &[UpdateBatch], mut out: W) -> Result<(), DumpError> {
+    let n: usize = batches.iter().map(|b| b.updates.len()).sum();
+    writeln!(out, "# backbone-elephants update stream: {n} updates in {} batches", batches.len())?;
+    writeln!(out, "# time|A|prefix|next_hop|as_path|origin|peer_class")?;
+    writeln!(out, "# time|W|prefix")?;
+    for batch in batches {
+        for update in &batch.updates {
+            match update {
+                RouteUpdate::Announce(e) => {
+                    let path: Vec<String> = e.as_path.iter().map(u32::to_string).collect();
+                    writeln!(
+                        out,
+                        "{}|A|{}|{}|{}|{}|{}",
+                        batch.at_unix,
+                        e.prefix,
+                        e.next_hop,
+                        path.join(" "),
+                        e.origin,
+                        e.peer_class
+                    )?;
+                }
+                RouteUpdate::Withdraw(p) => {
+                    writeln!(out, "{}|W|{}", batch.at_unix, p)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse a timed update stream. Consecutive updates sharing a
+/// timestamp coalesce into one [`UpdateBatch`]; timestamps must be
+/// non-decreasing ([`DumpError::NonMonotonic`] otherwise).
+pub fn read_updates<R: Read>(input: R) -> Result<Vec<UpdateBatch>, DumpError> {
+    let reader = BufReader::new(input);
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('|').collect();
+        if fields.len() < 3 {
+            return Err(DumpError::FieldCount { line: line_no, expected: 3, got: fields.len() });
+        }
+        let at_unix: u64 = fields[0].parse().map_err(|_| DumpError::BadField {
+            line: line_no,
+            field: "timestamp",
+            content: fields[0].to_string(),
+        })?;
+        if let Some(last) = batches.last() {
+            if at_unix < last.at_unix {
+                return Err(DumpError::NonMonotonic {
+                    line: line_no,
+                    prev: last.at_unix,
+                    got: at_unix,
+                });
+            }
+        }
+        let update = match fields[1] {
+            "A" => {
+                if fields.len() != 7 {
+                    return Err(DumpError::FieldCount {
+                        line: line_no,
+                        expected: 7,
+                        got: fields.len(),
+                    });
+                }
+                RouteUpdate::Announce(parse_route_fields(line_no, &fields[2..7])?)
+            }
+            "W" => {
+                if fields.len() != 3 {
+                    return Err(DumpError::FieldCount {
+                        line: line_no,
+                        expected: 3,
+                        got: fields.len(),
+                    });
+                }
+                RouteUpdate::Withdraw(fields[2].parse().map_err(|_| DumpError::BadField {
+                    line: line_no,
+                    field: "prefix",
+                    content: fields[2].to_string(),
+                })?)
+            }
+            other => {
+                return Err(DumpError::BadField {
+                    line: line_no,
+                    field: "action",
+                    content: other.to_string(),
+                });
+            }
+        };
+        match batches.last_mut() {
+            Some(last) if last.at_unix == at_unix => last.updates.push(update),
+            _ => batches.push(UpdateBatch { at_unix, updates: vec![update] }),
+        }
+    }
+    Ok(batches)
 }
 
 #[cfg(test)]
@@ -183,12 +317,22 @@ mod tests {
     }
 
     #[test]
-    fn field_count_error_reports_line() {
+    fn field_count_error_reports_line_and_expectation() {
         let text = "# ok\n10.0.0.0/8|192.0.2.1|1239\n";
+        let err = read_dump(text.as_bytes()).unwrap_err();
+        assert_eq!(err, DumpError::FieldCount { line: 2, expected: 5, got: 3 });
+        assert_eq!(err.to_string(), "line 2: expected 5 fields, got 3");
+    }
+
+    #[test]
+    fn bad_field_error_carries_offending_token() {
+        let text = "10.0.0.0/8|192.0.2.1|12 bogus 34|IGP|TIER1\n";
+        let err = read_dump(text.as_bytes()).unwrap_err();
         assert_eq!(
-            read_dump(text.as_bytes()).unwrap_err(),
-            DumpError::FieldCount { line: 2, got: 3 }
+            err,
+            DumpError::BadField { line: 1, field: "as_path", content: "bogus".to_string() }
         );
+        assert_eq!(err.to_string(), "line 1: bad as_path: \"bogus\"");
     }
 
     #[test]
@@ -229,5 +373,91 @@ mod tests {
         write_dump(&sample_table(), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("# backbone-elephants RIB dump: 2 routes"));
+    }
+
+    fn sample_batches() -> Vec<UpdateBatch> {
+        vec![
+            UpdateBatch {
+                at_unix: 120,
+                updates: vec![
+                    RouteUpdate::Announce(RouteEntry {
+                        prefix: "10.0.0.0/8".parse().unwrap(),
+                        next_hop: Ipv4Addr::new(192, 0, 2, 1),
+                        as_path: vec![1239, 701],
+                        origin: Origin::Igp,
+                        peer_class: PeerClass::Tier1,
+                    }),
+                    RouteUpdate::Withdraw("172.16.0.0/12".parse().unwrap()),
+                ],
+            },
+            UpdateBatch {
+                at_unix: 300,
+                updates: vec![RouteUpdate::Announce(RouteEntry {
+                    prefix: "10.0.0.0/8".parse().unwrap(),
+                    next_hop: Ipv4Addr::new(192, 0, 2, 9),
+                    as_path: vec![],
+                    origin: Origin::Egp,
+                    peer_class: PeerClass::Tier2,
+                })],
+            },
+        ]
+    }
+
+    #[test]
+    fn update_stream_round_trips() {
+        let batches = sample_batches();
+        let mut buf = Vec::new();
+        write_updates(&batches, &mut buf).unwrap();
+        let back = read_updates(&buf[..]).unwrap();
+        assert_eq!(back, batches);
+    }
+
+    #[test]
+    fn update_stream_coalesces_equal_timestamps() {
+        let text = "5|W|10.0.0.0/8\n5|W|172.16.0.0/12\n9|W|192.168.0.0/16\n";
+        let batches = read_updates(text.as_bytes()).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].updates.len(), 2);
+        assert_eq!(batches[1].at_unix, 9);
+    }
+
+    #[test]
+    fn malformed_update_stream_errors_are_typed() {
+        // (input, expected error) — every failure names the line and
+        // the offending token, never a stringly blob.
+        let cases: Vec<(&str, DumpError)> = vec![
+            (
+                "nope|W|10.0.0.0/8\n",
+                DumpError::BadField { line: 1, field: "timestamp", content: "nope".into() },
+            ),
+            (
+                "# hdr\n5|X|10.0.0.0/8\n",
+                DumpError::BadField { line: 2, field: "action", content: "X".into() },
+            ),
+            (
+                "5|W|10.0.0.0/8|extra\n",
+                DumpError::FieldCount { line: 1, expected: 3, got: 4 },
+            ),
+            (
+                "5|A|10.0.0.0/8|192.0.2.1|1239|IGP\n",
+                DumpError::FieldCount { line: 1, expected: 7, got: 6 },
+            ),
+            ("5|W\n", DumpError::FieldCount { line: 1, expected: 3, got: 2 }),
+            (
+                "5|A|10.0.0.0/8|192.0.2.1|1239|XXX|TIER1\n",
+                DumpError::BadField { line: 1, field: "origin", content: "XXX".into() },
+            ),
+            (
+                "5|W|999.0.0.0/8\n",
+                DumpError::BadField { line: 1, field: "prefix", content: "999.0.0.0/8".into() },
+            ),
+            (
+                "9|W|10.0.0.0/8\n5|W|172.16.0.0/12\n",
+                DumpError::NonMonotonic { line: 2, prev: 9, got: 5 },
+            ),
+        ];
+        for (text, want) in cases {
+            assert_eq!(read_updates(text.as_bytes()).unwrap_err(), want, "input {text:?}");
+        }
     }
 }

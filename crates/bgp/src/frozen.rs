@@ -2,7 +2,7 @@
 
 use std::net::Ipv4Addr;
 
-use eleph_net::{FlatLpm, Prefix};
+use eleph_net::{FlatLpm, LpmView, Prefix};
 
 use crate::{BgpTable, RouteEntry};
 
@@ -109,6 +109,16 @@ impl FrozenBgpTable {
     /// Bytes of lookup-table memory (cache-footprint diagnostic).
     pub fn table_bytes(&self) -> usize {
         self.flat.table_bytes()
+    }
+}
+
+impl LpmView<u32> for FrozenBgpTable {
+    fn lookup_one(&self, addr: u32) -> Option<u32> {
+        self.flat.lookup_id(addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [Option<u32>]) {
+        self.flat.lookup_many(addrs, out);
     }
 }
 

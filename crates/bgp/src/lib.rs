@@ -15,7 +15,14 @@
 //!   snapshot by [`BgpTable::freeze`]: O(1) flat-array attribution
 //!   returning dense [`RouteId`]s, which is what the packet hot path in
 //!   `eleph_flow` runs against;
-//! * [`dump`] — a line-oriented text RIB format (write + parse);
+//! * [`LiveBgpTable`] — the *continuously updatable* FIB: announce/
+//!   withdraw batches ([`RouteUpdate`]) apply incrementally behind an
+//!   epoch/generation swap while readers attribute against pinned
+//!   [`TableView`]s; ids are stable (withdrawn ids retire, re-announced
+//!   prefixes get fresh ids), which is what mid-stream re-attribution
+//!   in `eleph_pipeline` builds on;
+//! * [`dump`] — a line-oriented text RIB format plus a timed update
+//!   stream format (write + parse);
 //! * [`synth`] — a synthetic table generator whose prefix-length histogram
 //!   matches a 2001-era backbone table (~100k entries, mass at /16–/24),
 //!   used by every experiment in the reproduction.
@@ -25,11 +32,13 @@
 
 pub mod dump;
 mod frozen;
+mod live;
 mod route;
 pub mod synth;
 mod table;
 
 pub use frozen::{FrozenBgpTable, RouteId};
+pub use live::{ApplyReport, LiveBgpTable, RouteUpdate, TableView, UpdateBatch};
 pub use route::{Origin, PeerClass, RouteEntry};
 pub use synth::{SynthConfig, DEFAULT_LENGTH_WEIGHTS};
 pub use table::BgpTable;

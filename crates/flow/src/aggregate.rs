@@ -28,7 +28,7 @@
 use std::io::Read;
 
 use eleph_bgp::{BgpTable, FrozenBgpTable, RouteId};
-use eleph_net::Prefix;
+use eleph_net::{LpmView, Prefix};
 use eleph_packet::pcap::{PcapReader, PcapSlice, RecordHeader};
 use eleph_packet::{parse_buf_meta, LinkType, PacketMeta};
 
@@ -68,15 +68,20 @@ pub fn window_bounds_ns(interval_secs: u64, start_unix: u64) -> (u64, u64) {
 /// destination/route scratch arrays live on the stack.
 pub const ATTRIBUTION_CHUNK: usize = 64;
 
-/// Batch-resolve `metas`' destinations through the frozen table,
+/// Batch-resolve `metas`' destinations through an attribution table,
 /// appending one `Option<RouteId>` per packet to `routes` (cleared
 /// first). Lookups issue in [`ATTRIBUTION_CHUNK`]-sized chunks through
-/// [`FrozenBgpTable::attribute_ids`], so every chunk's cache misses
-/// overlap before any result is consumed — the shared stage-1 of both
-/// the batch aggregator and the streaming pipeline (one copy, so the
-/// two paths cannot drift on chunking or issue order).
-pub fn attribute_metas(
-    table: &FrozenBgpTable,
+/// [`LpmView::lookup_batch`], so every chunk's cache misses overlap
+/// before any result is consumed — the shared stage-1 of both the
+/// batch aggregator and the streaming pipeline (one copy, so the two
+/// paths cannot drift on chunking or issue order).
+///
+/// Generic over [`LpmView`] so the same code serves a
+/// [`FrozenBgpTable`] snapshot and a pinned live
+/// `eleph_bgp::TableView` — mid-stream re-attribution reuses the
+/// identical chunking.
+pub fn attribute_metas<T: LpmView<u32> + ?Sized>(
+    table: &T,
     metas: &[PacketMeta],
     routes: &mut Vec<Option<RouteId>>,
 ) {
@@ -89,7 +94,7 @@ pub fn attribute_metas(
         for (d, m) in dsts[..n].iter_mut().zip(chunk) {
             *d = u32::from(m.dst);
         }
-        table.attribute_ids(&dsts[..n], &mut chunk_routes[..n]);
+        table.lookup_batch(&dsts[..n], &mut chunk_routes[..n]);
         routes.extend_from_slice(&chunk_routes[..n]);
     }
 }
@@ -110,7 +115,13 @@ pub struct KeyAllocator {
 }
 
 impl KeyAllocator {
-    /// Allocator over a frozen table's dense route id space.
+    /// Allocator pre-sized for a table's route id space. The map grows
+    /// on demand when a route id beyond `n_routes` appears — a live
+    /// table's announces allocate fresh ids past the initial space, and
+    /// each becomes a fresh key on first touch (a withdrawn-then-
+    /// re-announced prefix is deliberately a *new* key: old keys drain
+    /// through the classifier's latent-heat window, history is never
+    /// rewritten).
     pub fn new(n_routes: usize) -> Self {
         KeyAllocator {
             route_to_key: vec![NO_KEY; n_routes],
@@ -123,6 +134,9 @@ impl KeyAllocator {
     /// per-key metadata (prefix, first-seen position) exactly once.
     #[inline]
     pub fn key_for(&mut self, route: RouteId) -> (KeyId, bool) {
+        if route as usize >= self.route_to_key.len() {
+            self.route_to_key.resize(route as usize + 1, NO_KEY);
+        }
         let slot = &mut self.route_to_key[route as usize];
         if *slot == NO_KEY {
             let key = self.n_keys as KeyId;

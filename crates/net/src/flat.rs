@@ -12,8 +12,8 @@ use crate::Prefix;
 /// prefix longer than /24); bit 31 clear means the low bits are
 /// `entry_index + 1`. Spill slots use the `entry_index + 1` encoding
 /// only.
-const EMPTY: u32 = 0;
-const SPILL_BIT: u32 = 1 << 31;
+pub(crate) const EMPTY: u32 = 0;
+pub(crate) const SPILL_BIT: u32 = 1 << 31;
 
 /// A read-optimized, frozen longest-prefix-match table in the style of
 /// DIR-24-8 (Gupta/Lin/McKeown's "Routing Lookups in Hardware at Memory

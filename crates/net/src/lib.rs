@@ -88,6 +88,7 @@
 #![warn(missing_docs)]
 
 mod compressed;
+pub mod epoch;
 mod error;
 mod flat;
 mod linear;
@@ -97,6 +98,7 @@ mod set;
 mod trie;
 
 pub use compressed::CompressedTrieLpm;
+pub use epoch::{Applied, EpochLpm, LpmDelta, LpmSnapshot};
 pub use error::PrefixError;
 pub use flat::FlatLpm;
 pub use linear::LinearLpm;
@@ -138,6 +140,36 @@ pub trait Lpm<V> {
     /// Whether the table is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Read-only longest-prefix-match resolution to dense ids, generic over
+/// the address family `A`.
+///
+/// This is the seam the packet pipeline attributes through: both the
+/// frozen [`FlatLpm`] and a pinned live [`LpmSnapshot`] implement it
+/// for `A = u32` (IPv4), so downstream attribution
+/// (`eleph_flow::attribute_metas`) is agnostic to whether the table
+/// underneath it is a one-shot freeze or an epoch-swapped live view. An
+/// IPv6 backend (e.g. a multi-level-stride table over `A = u128`)
+/// plugs in by implementing the same two methods — nothing upstack
+/// names the address width.
+pub trait LpmView<A> {
+    /// Longest-prefix-match id for one address, `None` on miss.
+    fn lookup_one(&self, addr: A) -> Option<u32>;
+
+    /// Batched longest-prefix match; `out[i]` receives the id for
+    /// `addrs[i]`. Implementations must panic if the lengths differ.
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<u32>]);
+}
+
+impl<V> LpmView<u32> for FlatLpm<V> {
+    fn lookup_one(&self, addr: u32) -> Option<u32> {
+        self.lookup_id(addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [Option<u32>]) {
+        self.lookup_many(addrs, out);
     }
 }
 

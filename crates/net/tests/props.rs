@@ -3,7 +3,8 @@
 //! random prefixes.
 
 use eleph_net::{
-    CompressedTrieLpm, FlatLpm, LinearLpm, Lpm, PerLengthLpm, Prefix, PrefixSet, TrieLpm,
+    CompressedTrieLpm, EpochLpm, FlatLpm, LinearLpm, Lpm, LpmDelta, PerLengthLpm, Prefix,
+    PrefixSet, TrieLpm,
 };
 use proptest::prelude::*;
 
@@ -236,6 +237,90 @@ proptest! {
                 flat.lookup_many(a_chunk, o_chunk);
             }
             prop_assert_eq!(&split, &out, "batch size {}", size);
+        }
+    }
+
+    /// The live-table tentpole invariant: a table built by applying a
+    /// random announce/withdraw sequence as epoch deltas is
+    /// lookup-for-lookup identical to freezing the final RIB from
+    /// scratch. Ids differ by construction (epoch ids are
+    /// caller-assigned, flat ids are dump-ordered), so equality is by
+    /// resolved *prefix* — checked on the scalar, `lookup_many` and
+    /// `lookup_many_raw` paths at random addresses plus every touched
+    /// prefix's boundary addresses.
+    #[test]
+    fn epoch_deltas_equal_fresh_freeze(
+        ops in prop::collection::vec(
+            (any::<u32>(), prop_oneof![0u8..=32, 8u8..=26], any::<bool>()),
+            0..48,
+        ),
+        splits in prop::collection::vec(1usize..8, 0..8),
+        queries in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        // Withdraws draw from the same generator as announces; to make
+        // them actually hit, reuse each op's prefix with probability ~1/2
+        // by cycling through previously announced prefixes.
+        let table = EpochLpm::new();
+        let mut rib: std::collections::BTreeMap<Prefix, u32> = Default::default();
+        let mut announced: Vec<Prefix> = Vec::new();
+        let mut next_id = 0u32;
+        let mut deltas: Vec<LpmDelta> = Vec::new();
+        for (i, &(bits, len, is_withdraw)) in ops.iter().enumerate() {
+            let prefix = if is_withdraw && !announced.is_empty() {
+                announced[i % announced.len()]
+            } else {
+                Prefix::from_u32(bits, len).unwrap()
+            };
+            if is_withdraw {
+                rib.remove(&prefix);
+                deltas.push(LpmDelta::Withdraw { prefix });
+            } else {
+                rib.insert(prefix, next_id);
+                announced.push(prefix);
+                deltas.push(LpmDelta::Announce { prefix, id: next_id });
+                next_id += 1;
+            }
+        }
+        // Apply in irregularly sized batches so batch boundaries are
+        // exercised too, not just one-delta-per-generation.
+        let mut rest = deltas.as_slice();
+        let mut si = 0usize;
+        while !rest.is_empty() {
+            let take = splits.get(si).copied().unwrap_or(3).min(rest.len());
+            table.apply(&rest[..take]);
+            rest = &rest[take..];
+            si += 1;
+        }
+
+        // Freeze the final RIB from scratch, carrying the prefix as the
+        // value so both sides resolve to a prefix.
+        let flat: FlatLpm<Prefix> = FlatLpm::from_entries(rib.iter().map(|(p, _)| (*p, *p)));
+        let id_to_prefix: std::collections::HashMap<u32, Prefix> =
+            rib.iter().map(|(p, &id)| (id, *p)).collect();
+        prop_assert_eq!(table.entries().len(), flat.len());
+
+        let addrs: Vec<u32> = queries
+            .iter()
+            .copied()
+            .chain(announced.iter().flat_map(|p| {
+                let first = p.bits();
+                let last = u32::from(p.last_addr());
+                [first, last, first.wrapping_sub(1), last.wrapping_add(1)]
+            }))
+            .collect();
+        let snap = table.pin();
+        let mut live = vec![None; addrs.len()];
+        snap.lookup_many(&addrs, &mut live);
+        let mut live_raw = vec![0u32; addrs.len()];
+        snap.lookup_many_raw(&addrs, &mut live_raw);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let want = flat.lookup(addr).map(|(p, _)| p);
+            let scalar = snap.lookup_id(addr).map(|id| id_to_prefix[&id]);
+            prop_assert_eq!(scalar, want, "scalar at {:#010x}", addr);
+            let batch = live[i].map(|id| id_to_prefix[&id]);
+            prop_assert_eq!(batch, want, "lookup_many at {:#010x}", addr);
+            let raw = if live_raw[i] == 0 { None } else { Some(id_to_prefix[&(live_raw[i] - 1)]) };
+            prop_assert_eq!(raw, want, "lookup_many_raw at {:#010x}", addr);
         }
     }
 }

@@ -8,7 +8,7 @@
 //! open interval's byte row, and the packet accounting — so a resumed
 //! pipeline continues **bit-identically** to the run that wrote it.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```text
 //! magic    8 B  b"ELPHCKPT"
@@ -19,10 +19,13 @@
 //! ```
 //!
 //! The payload opens with a configuration fingerprint (interval length,
-//! window start, γ bits, scheme, detector name, route count, per-key
-//! prefixes); [`crate::PipelineBuilder::resume`] refuses a snapshot
-//! whose fingerprint disagrees with the builder, so state can never be
-//! grafted onto a different measurement definition.
+//! window start, γ bits, scheme, detector name, route-id space size,
+//! routing-table generation, per-key prefixes);
+//! [`crate::PipelineBuilder::resume`] refuses a snapshot whose
+//! fingerprint disagrees with the builder, so state can never be
+//! grafted onto a different measurement definition — including a live
+//! routing table at a different update generation than the one the
+//! snapshot was taken against (version 2 added the generation field).
 //!
 //! # Atomicity & exactly-once emission
 //!
@@ -56,7 +59,7 @@ use crate::pipeline::{Pipeline, PipelineError, PipelineStats};
 use crate::source::PacketSource;
 
 const MAGIC: [u8; 8] = *b"ELPHCKPT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be read, written, or applied.
 #[derive(Debug)]
@@ -148,6 +151,10 @@ pub(crate) struct CheckpointConfig {
     pub(crate) scheme: Scheme,
     pub(crate) detector: String,
     pub(crate) n_routes: u64,
+    /// Routing-table generation (0 for frozen tables; the number of
+    /// update batches applied for live tables). A resume must replay
+    /// the table to exactly this generation first.
+    pub(crate) generation: u64,
 }
 
 /// A decoded pipeline snapshot — everything a fresh process needs to
@@ -188,6 +195,15 @@ impl Checkpoint {
     /// The detector name recorded in the fingerprint.
     pub fn detector(&self) -> &str {
         &self.config.detector
+    }
+
+    /// Routing-table generation recorded in the fingerprint: the number
+    /// of update batches the (live) table had applied at snapshot time,
+    /// 0 for frozen tables. A resuming driver must replay the first
+    /// `generation` batches of its schedule onto a fresh live table
+    /// before [`crate::PipelineBuilder::resume`].
+    pub fn generation(&self) -> u64 {
+        self.config.generation
     }
 
     /// Serialize (header + checksummed payload).
@@ -270,6 +286,7 @@ impl Checkpoint {
         }
         put_str(&mut w, &self.config.detector);
         w.extend_from_slice(&self.config.n_routes.to_le_bytes());
+        w.extend_from_slice(&self.config.generation.to_le_bytes());
         // Progress.
         w.extend_from_slice(&self.open.to_le_bytes());
         w.extend_from_slice(&self.far_future_streak.to_le_bytes());
@@ -345,6 +362,7 @@ impl Checkpoint {
         };
         let detector = r.string()?;
         let n_routes = r.u64()?;
+        let generation = r.u64()?;
         let open = r.u64()?;
         let far_future_streak = r.u32()?;
         let stats = PipelineStats {
@@ -411,6 +429,7 @@ impl Checkpoint {
                 scheme,
                 detector,
                 n_routes,
+                generation,
             },
             open,
             far_future_streak,
@@ -666,6 +685,7 @@ mod tests {
                 scheme: Scheme::LatentHeat { window: 12 },
                 detector: "0.80-constant-load".to_string(),
                 n_routes: 3,
+                generation: 4,
             },
             open: 5,
             far_future_streak: 2,

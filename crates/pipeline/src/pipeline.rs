@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use eleph_bgp::{BgpTable, FrozenBgpTable, RouteId};
+use eleph_bgp::{BgpTable, FrozenBgpTable, LiveBgpTable, RouteId, TableView, UpdateBatch};
 use eleph_core::{
     ConstantLoadDetector, OnlineClassifier, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
     PAPER_LATENT_WINDOW,
@@ -149,6 +149,66 @@ pub struct PipelineReport {
     /// [`Pipeline::far_future_streak`]); nonzero means the capture
     /// ended on suspicious timestamps.
     pub far_future_streak: u32,
+    /// Routing-table generation at end of run: 0 for a frozen table,
+    /// the number of update batches applied for a live one.
+    pub generation: u64,
+    /// Scheduled route-update batches applied over the whole run
+    /// (counting batches replayed before a resume).
+    pub route_updates_applied: u64,
+}
+
+/// The routing table a pipeline attributes against: either a frozen
+/// snapshot (generation 0 forever) or a live [`LiveBgpTable`] plus the
+/// pinned [`TableView`] the hot path currently reads. Applying an
+/// update batch re-pins the view; packets already attributed keep the
+/// route ids (and therefore keys) the old generation gave them.
+enum TableHandle<'t> {
+    Frozen(FrozenTableRef<'t>),
+    Live {
+        table: &'t LiveBgpTable,
+        view: TableView,
+    },
+}
+
+impl TableHandle<'_> {
+    /// Size of the route-id space: dense `0..len` for a frozen table,
+    /// the all-time id count (retired ids included) for a live one.
+    fn id_space(&self) -> usize {
+        match self {
+            TableHandle::Frozen(t) => t.get().len(),
+            TableHandle::Live { view, .. } => view.n_ids(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            TableHandle::Frozen(_) => 0,
+            TableHandle::Live { view, .. } => view.generation(),
+        }
+    }
+
+    /// The prefix behind `route` (live tables resolve retired ids too,
+    /// which checkpoint revalidation relies on).
+    fn prefix(&self, route: RouteId) -> Prefix {
+        match self {
+            TableHandle::Frozen(t) => t.get().prefix(route),
+            TableHandle::Live { view, .. } => view.prefix(route),
+        }
+    }
+
+    fn attribute(&self, metas: &[PacketMeta], routes: &mut Vec<Option<RouteId>>) {
+        match self {
+            TableHandle::Frozen(t) => attribute_metas(t.get(), metas, routes),
+            TableHandle::Live { view, .. } => attribute_metas(view, metas, routes),
+        }
+    }
+
+    fn attribute_one(&self, dst: u32) -> Option<RouteId> {
+        match self {
+            TableHandle::Frozen(t) => t.get().attribute_id(dst),
+            TableHandle::Live { view, .. } => view.attribute_id(dst),
+        }
+    }
 }
 
 /// Builder for [`Pipeline`]. Defaults: the paper's headline
@@ -159,7 +219,8 @@ pub struct PipelineReport {
 /// A routing table ([`PipelineBuilder::table`] or
 /// [`PipelineBuilder::frozen`]) is the one mandatory ingredient.
 pub struct PipelineBuilder<'t, D> {
-    table: Option<FrozenTableRef<'t>>,
+    table: Option<TableHandle<'t>>,
+    updates: Vec<UpdateBatch>,
     interval_secs: u64,
     start_unix: u64,
     n_intervals: Option<usize>,
@@ -174,6 +235,7 @@ impl Default for PipelineBuilder<'_, ConstantLoadDetector> {
     fn default() -> Self {
         PipelineBuilder {
             table: None,
+            updates: Vec::new(),
             interval_secs: 300,
             start_unix: 0,
             n_intervals: None,
@@ -199,13 +261,39 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     /// Attribute against a read-optimized copy of `table` (frozen
     /// immediately; the pipeline does not borrow the live table).
     pub fn table(mut self, table: &BgpTable) -> Self {
-        self.table = Some(FrozenTableRef::Owned(Box::new(table.freeze())));
+        self.table = Some(TableHandle::Frozen(FrozenTableRef::Owned(Box::new(table.freeze()))));
         self
     }
 
     /// Attribute against an existing freeze (shared across pipelines).
     pub fn frozen(mut self, table: &'t FrozenBgpTable) -> Self {
-        self.table = Some(FrozenTableRef::Borrowed(table));
+        self.table = Some(TableHandle::Frozen(FrozenTableRef::Borrowed(table)));
+        self
+    }
+
+    /// Attribute against a *live* table: update batches (applied by
+    /// this pipeline's [`PipelineBuilder::route_updates`] schedule, or
+    /// by the caller between chunks) take effect mid-stream without a
+    /// refreeze. The pipeline pins a view at build time and re-pins
+    /// after every batch it applies.
+    pub fn live(mut self, table: &'t LiveBgpTable) -> Self {
+        self.table = Some(TableHandle::Live {
+            view: table.view(),
+            table,
+        });
+        self
+    }
+
+    /// Replay this timed update schedule against the live table as the
+    /// stream advances: each batch is applied immediately before the
+    /// first offered packet whose timestamp reaches the batch time, so
+    /// replay is a deterministic function of the packet stream.
+    ///
+    /// Batches must be in non-decreasing time order (as
+    /// [`eleph_bgp::dump::read_updates`] guarantees); requires a
+    /// [`PipelineBuilder::live`] table at build time.
+    pub fn route_updates(mut self, schedule: Vec<UpdateBatch>) -> Self {
+        self.updates = schedule;
         self
     }
 
@@ -243,6 +331,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     pub fn detector<E: ThresholdDetector>(self, detector: E) -> PipelineBuilder<'t, E> {
         PipelineBuilder {
             table: self.table,
+            updates: self.updates,
             interval_secs: self.interval_secs,
             start_unix: self.start_unix,
             n_intervals: self.n_intervals,
@@ -287,17 +376,22 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     /// # Panics
     ///
     /// Panics when no table was provided, when `interval_secs` is zero,
-    /// or when the window's nanosecond bounds overflow `u64` (the same
-    /// validation as the batch aggregator).
+    /// when the window's nanosecond bounds overflow `u64` (the same
+    /// validation as the batch aggregator), or when a route-update
+    /// schedule was given without a live table / out of time order.
     pub fn build(self) -> Pipeline<'t, D> {
-        let table = self.table.expect("PipelineBuilder needs a table (.table or .frozen)");
+        let table = self.table.expect("PipelineBuilder needs a table (.table, .frozen or .live)");
+        let update_ns = update_schedule(&table, &self.updates);
         // Shared with the batch aggregator so the two paths cannot
         // drift on window validation.
         let (start_ns, interval_ns) =
             eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
-        let n_routes = table.get().len();
+        let n_routes = table.id_space();
         Pipeline {
             table,
+            updates: self.updates,
+            update_ns,
+            next_update: 0,
             interval_secs: self.interval_secs,
             secs: self.interval_secs as f64,
             start_unix: self.start_unix,
@@ -376,8 +470,32 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
         if name != c.detector {
             return Err(mismatch("detector", name, c.detector.clone()));
         }
-        let table = self.table.expect("PipelineBuilder needs a table (.table or .frozen)");
-        let n_routes = table.get().len();
+        let table = self.table.expect("PipelineBuilder needs a table (.table, .frozen or .live)");
+        let update_ns = update_schedule(&table, &self.updates);
+        // A live table must be replayed to the checkpoint's generation
+        // before resuming (apply the first `generation` batches of the
+        // same schedule); a frozen table is forever at generation 0, so
+        // a checkpoint born live refuses to graft onto it — and vice
+        // versa.
+        if table.generation() != c.generation {
+            return Err(mismatch(
+                "table generation",
+                table.generation().to_string(),
+                c.generation.to_string(),
+            ));
+        }
+        let next_update = usize::try_from(c.generation).map_err(|_| {
+            CheckpointError::Mismatch(format!("table generation: {} exceeds usize", c.generation))
+        })?;
+        if matches!(table, TableHandle::Live { .. }) && next_update > update_ns.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "table generation: checkpoint consumed {} update batches but the schedule \
+                 holds {}",
+                c.generation,
+                update_ns.len()
+            )));
+        }
+        let n_routes = table.id_space();
         if n_routes as u64 != c.n_routes {
             return Err(mismatch(
                 "routing table size",
@@ -394,7 +512,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
                     "key {id}: route {route} outside the table"
                 )));
             }
-            let actual = table.get().prefix(route);
+            let actual = table.prefix(route);
             if actual != prefix {
                 return Err(mismatch(
                     &format!("key {id} prefix"),
@@ -437,6 +555,9 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
         Ok(Pipeline {
             table,
+            updates: self.updates,
+            update_ns,
+            next_update,
             interval_secs: self.interval_secs,
             secs: self.interval_secs as f64,
             start_unix: self.start_unix,
@@ -468,6 +589,32 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     }
 }
 
+/// Validate a route-update schedule against the chosen table and
+/// convert batch times to nanoseconds.
+///
+/// # Panics
+/// When a schedule is given for a frozen table, a batch time overflows
+/// `u64` nanoseconds, or the schedule is out of time order.
+fn update_schedule(table: &TableHandle<'_>, updates: &[UpdateBatch]) -> Vec<u64> {
+    assert!(
+        updates.is_empty() || matches!(table, TableHandle::Live { .. }),
+        "route updates need a live table (use .live(..), not .table/.frozen)"
+    );
+    let ns: Vec<u64> = updates
+        .iter()
+        .map(|b| {
+            b.at_unix
+                .checked_mul(1_000_000_000)
+                .expect("route-update batch time overflows u64 nanoseconds")
+        })
+        .collect();
+    assert!(
+        ns.windows(2).all(|w| w[0] <= w[1]),
+        "route-update schedule must be in non-decreasing time order"
+    );
+    ns
+}
+
 /// The streaming pipeline: feed packets (or [`Pipeline::run`] a whole
 /// [`PacketSource`]), get per-interval classifications at the sinks.
 ///
@@ -475,7 +622,13 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
 /// only the *open* interval's byte row exists at any time — no
 /// full-matrix materialization, whatever the trace length.
 pub struct Pipeline<'t, D: ThresholdDetector> {
-    table: FrozenTableRef<'t>,
+    table: TableHandle<'t>,
+    /// Timed route-update schedule (live tables only; empty otherwise).
+    updates: Vec<UpdateBatch>,
+    /// `updates[i].at_unix` in nanoseconds, precomputed once.
+    update_ns: Vec<u64>,
+    /// First schedule entry not yet applied to the table.
+    next_update: usize,
     interval_secs: u64,
     /// `interval_secs as f64`, hoisted for the seal-path rate division.
     secs: f64,
@@ -511,15 +664,44 @@ pub struct Pipeline<'t, D: ThresholdDetector> {
 
 impl<D: ThresholdDetector> Pipeline<'_, D> {
     /// Observe a chunk of parsed packets (interval-ordered), batching
-    /// attribution through the frozen table exactly like the batch
+    /// attribution through the table exactly like the batch
     /// aggregator's hot path. Intervals are sealed — classified and
-    /// emitted to the sinks — as packet timestamps cross boundaries.
+    /// emitted to the sinks — as packet timestamps cross boundaries,
+    /// and scheduled route-update batches apply as timestamps cross
+    /// their batch times.
     pub fn observe_chunk(&mut self, metas: &[PacketMeta]) -> Result<()> {
-        // Batched resolve through the helper shared with the batch
-        // aggregator (every chunk's lookups issue before any result is
-        // consumed); rejected packets simply never read theirs.
+        // With a scheduled update due inside this chunk, split at the
+        // first packet whose timestamp reaches the batch time: packets
+        // before the cut attribute against the old generation, the
+        // batch applies, packets after attribute against the new one.
+        // Replay is thus a deterministic function of the offered stream
+        // regardless of how the source happens to chunk it.
+        let mut rest = metas;
+        loop {
+            let due = self.next_update_ns();
+            if due == u64::MAX {
+                break;
+            }
+            let Some(cut) = rest.iter().position(|m| m.ts_ns >= due) else {
+                break;
+            };
+            self.observe_attributed(&rest[..cut])?;
+            rest = &rest[cut..];
+            self.apply_due_updates(rest[0].ts_ns);
+        }
+        self.observe_attributed(rest)
+    }
+
+    /// One attribution batch against the current table view (no update
+    /// boundary inside): batched resolve through the helper shared with
+    /// the batch aggregator (every chunk's lookups issue before any
+    /// result is consumed); rejected packets simply never read theirs.
+    fn observe_attributed(&mut self, metas: &[PacketMeta]) -> Result<()> {
+        if metas.is_empty() {
+            return Ok(());
+        }
         let mut routes = std::mem::take(&mut self.route_scratch);
-        attribute_metas(self.table.get(), metas, &mut routes);
+        self.table.attribute(metas, &mut routes);
         let result = metas
             .iter()
             .zip(routes.iter())
@@ -531,12 +713,34 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
     /// Observe one parsed packet (single-lookup path; rejected packets
     /// cost no table access).
     pub fn observe_meta(&mut self, meta: &PacketMeta) -> Result<()> {
+        if meta.ts_ns >= self.next_update_ns() {
+            self.apply_due_updates(meta.ts_ns);
+        }
         self.stats.offered += 1;
         let Some(interval) = self.classify_window(meta.ts_ns)? else {
             return Ok(());
         };
-        let route = self.table.get().attribute_id(u32::from(meta.dst));
+        let route = self.table.attribute_one(u32::from(meta.dst));
         self.advance_and_bin(meta, route, interval)
+    }
+
+    /// Nanosecond time of the next scheduled update batch (`u64::MAX`
+    /// when the schedule is exhausted).
+    #[inline]
+    fn next_update_ns(&self) -> u64 {
+        self.update_ns.get(self.next_update).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Apply every scheduled batch due at or before `ts_ns`, re-pinning
+    /// the table view after each so subsequent attribution sees it.
+    fn apply_due_updates(&mut self, ts_ns: u64) {
+        while self.next_update < self.updates.len() && self.update_ns[self.next_update] <= ts_ns {
+            if let TableHandle::Live { table, view } = &mut self.table {
+                table.apply(&self.updates[self.next_update].updates);
+                *view = table.view();
+            }
+            self.next_update += 1;
+        }
     }
 
     /// Observe one raw packet: parse, then bin; parse failures are
@@ -684,7 +888,7 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
         let (key, newly_assigned) = self.key_alloc.key_for(route);
         if newly_assigned {
             debug_assert_eq!(key as usize, self.keys.len());
-            self.keys.push(self.table.get().prefix(route));
+            self.keys.push(self.table.prefix(route));
         }
         let k = key as usize;
         if k >= self.row.len() {
@@ -773,7 +977,8 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
                 gamma: self.classifier.gamma(),
                 scheme: self.classifier.scheme(),
                 detector: self.classifier.detector_name(),
-                n_routes: self.table.get().len() as u64,
+                n_routes: self.table.id_space() as u64,
+                generation: self.table.generation(),
             },
             open: self.open as u64,
             far_future_streak: self.far_future_streak,
@@ -815,6 +1020,8 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
             intervals: self.open,
             keys: self.keys,
             far_future_streak: self.far_future_streak,
+            generation: self.table.generation(),
+            route_updates_applied: self.next_update as u64,
         })
     }
 
@@ -852,7 +1059,7 @@ mod tests {
     use super::*;
     use crate::sink::Collector;
     use crate::source::MetaSource;
-    use eleph_bgp::{Origin, PeerClass, RouteEntry};
+    use eleph_bgp::{Origin, PeerClass, RouteEntry, RouteUpdate};
     use eleph_core::classify;
     use eleph_flow::Aggregator;
     use eleph_packet::IpProtocol;
@@ -1134,6 +1341,77 @@ mod tests {
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
         }
+    }
+
+    #[test]
+    fn mid_stream_update_reattributes_within_one_chunk() {
+        // A withdraw scheduled inside a chunk splits it: the packet
+        // before the batch time attributes to the /16, the packets
+        // after fall through to the covering /8 — and when the /16 is
+        // re-announced, its traffic lands under a *fresh* key, never
+        // rewriting the old one's history.
+        let live = LiveBgpTable::from_table(&table());
+        let sixteen: Prefix = "10.1.0.0/16".parse().unwrap();
+        let mut p = PipelineBuilder::new()
+            .live(&live)
+            .interval_secs(10)
+            .start_unix(1000)
+            .n_intervals(4)
+            .route_updates(vec![
+                UpdateBatch {
+                    at_unix: 1005,
+                    updates: vec![RouteUpdate::Withdraw(sixteen)],
+                },
+                UpdateBatch {
+                    at_unix: 1020,
+                    updates: vec![RouteUpdate::Announce(RouteEntry {
+                        prefix: sixteen,
+                        next_hop: Ipv4Addr::new(192, 0, 2, 9),
+                        as_path: vec![3],
+                        origin: Origin::Igp,
+                        peer_class: PeerClass::Tier2,
+                    })],
+                },
+            ])
+            .build();
+        p.observe_chunk(&[
+            meta([10, 1, 0, 1], 1001, 100), // /16, old generation
+            meta([10, 1, 0, 1], 1006, 200), // withdrawn → covering /8
+            meta([10, 1, 0, 1], 1021, 300), // re-announced /16, fresh key
+        ])
+        .unwrap();
+        let report = p.finish().unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.route_updates_applied, 2);
+        // Same prefix appears twice under distinct keys (old id retired).
+        assert_eq!(report.keys, vec![sixteen, "10.0.0.0/8".parse().unwrap(), sixteen]);
+        assert_eq!(report.stats.attributed, 3);
+        assert!(report.stats.is_conserved());
+    }
+
+    #[test]
+    fn frozen_pipeline_reports_generation_zero() {
+        let t = table();
+        let mut p = PipelineBuilder::new()
+            .table(&t)
+            .interval_secs(10)
+            .start_unix(1000)
+            .n_intervals(1)
+            .build();
+        p.observe_meta(&meta([10, 1, 0, 1], 1001, 100)).unwrap();
+        let report = p.finish().unwrap();
+        assert_eq!(report.generation, 0);
+        assert_eq!(report.route_updates_applied, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route updates need a live table")]
+    fn route_updates_without_live_table_panic_at_build() {
+        let t = table();
+        let _ = PipelineBuilder::new()
+            .table(&t)
+            .route_updates(vec![UpdateBatch { at_unix: 0, updates: vec![] }])
+            .build();
     }
 
     #[test]

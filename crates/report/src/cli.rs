@@ -21,11 +21,15 @@ use eleph_core::{
     AestDetector, ConstantLoadDetector, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
     PAPER_LATENT_WINDOW,
 };
+use eleph_bgp::{LiveBgpTable, UpdateBatch};
 use eleph_pipeline::{
     skip_offered, Checkpoint, Checkpointer, FaultedPcapSource, JsonlSink, PacketSource,
     PcapSource, Pipeline, PipelineBuilder, PipelineReport, RotatingJsonlSink, TraceSource,
 };
-use eleph_trace::{FaultConfig, FaultInjector, FaultStats, RateTrace, WorkloadConfig};
+use eleph_trace::{
+    generate_churn, ChurnConfig, ChurnScenario, FaultConfig, FaultInjector, FaultStats, RateTrace,
+    WorkloadConfig,
+};
 
 use crate::experiments::{
     ablation_beta, ablation_gamma, ablation_scheme, ablation_window, fig1_data, fig1a, fig1b,
@@ -150,6 +154,9 @@ SUBCOMMANDS:
     ablation --which W         W = gamma | window | beta | scheme
     all                        every experiment, sharing builds
     run                        stream packets -> per-interval JSONL
+    churn                      generate a deterministic route-update
+                               stream (announce/withdraw storms, flap
+                               damping) for `run --rib-updates`
     help                       this text
 
 EXPERIMENT OPTIONS:
@@ -171,6 +178,14 @@ RUN OPTIONS (eleph run):
                                table is generated, which only matches
                                captures produced against that same table
     --prefixes N               synthetic routing-table size (default 20000)
+    --rib-updates FILE         timed route-update stream (see eleph_bgp::dump
+                               update format; `eleph churn` writes one):
+                               the table becomes *live* and each batch
+                               applies mid-stream, immediately before the
+                               first packet whose timestamp reaches the
+                               batch time; re-announced prefixes get
+                               fresh keys while old keys retire through
+                               the classifier window
     --detector D               constant-load | aest (default constant-load)
     --beta F                   constant-load target (default 0.8)
     --gamma F                  threshold EWMA smoothing (default 0.9)
@@ -200,12 +215,29 @@ RUN OPTIONS (eleph run):
     --fault-truncate F         in the end-of-run summary)
     --fault-seed N             fault injector RNG seed (default 0)
 
+CHURN OPTIONS (eleph churn):
+    --out FILE                 update-stream destination (default stdout)
+    --prefixes N               synthetic table size to sample prefixes
+                               from (default 20000 — match the run's)
+    --seed N                   churn scenario seed (default 7)
+    --start-unix T             base time the offsets below add to (default 0)
+    --storm-at S               withdraw storm S seconds after start (default 60)
+    --storm-count N            prefixes in the storm (default 16; 0 disables)
+    --storm-hold S             seconds the routes stay down (default 120)
+    --flap-start S             first flap S seconds after start (default 90)
+    --flap-count N             flapping prefixes (default 4; 0 disables)
+    --flap-period S            withdraw->announce spacing (default 30)
+    --flap-cycles N            flap cycles per prefix (default 3)
+    --flap-damped              suppress the final re-announce for the
+                               8x-period damping window
+
 The end of a run prints one JSON summary line on stderr: intervals
 sealed, prefix count, every packet-accounting counter (offered,
 attributed, attributed_bytes, unroutable, out_of_window, malformed,
-late, conserved, far_future_streak) and the fault-injection counters
-(seen, dropped, corrupted, truncated), so degraded-input runs are
-visible without grepping logs.
+late, conserved, far_future_streak), the routing-table generation and
+applied update-batch count, and the fault-injection counters (seen,
+dropped, corrupted, truncated), so degraded-input runs are visible
+without grepping logs.
 ";
 
 /// Entry point for the `eleph` binary: parse `argv[1..]` and dispatch.
@@ -242,6 +274,7 @@ pub fn eleph_main() -> io::Result<()> {
             Ok(())
         }
         "run" => run_streaming(rest),
+        "churn" => run_churn(rest),
         other => panic!("unknown subcommand {other}; try `eleph help`"),
     }
 }
@@ -305,6 +338,9 @@ pub struct RunOpts {
     pub seed: u64,
     /// Text RIB dump to attribute against (`None` = synthetic table).
     pub rib: Option<String>,
+    /// Timed route-update stream to replay mid-run (`None` = the table
+    /// stays frozen for the whole run).
+    pub rib_updates: Option<String>,
     /// Synthetic routing-table size.
     pub prefixes: usize,
     /// Detector kind: "constant-load" or "aest".
@@ -352,6 +388,7 @@ impl Default for RunOpts {
             start_unix: None,
             seed: 7,
             rib: None,
+            rib_updates: None,
             prefixes: 20_000,
             detector: "constant-load".to_string(),
             beta: PAPER_BETA,
@@ -407,6 +444,7 @@ impl RunOpts {
                 }
                 "--seed" => o.seed = value(&mut i, args).parse().expect("--seed takes an integer"),
                 "--rib" => o.rib = Some(value(&mut i, args)),
+                "--rib-updates" => o.rib_updates = Some(value(&mut i, args)),
                 "--prefixes" => {
                     o.prefixes = value(&mut i, args).parse().expect("--prefixes takes a count")
                 }
@@ -543,6 +581,15 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         }
     };
 
+    let updates: Vec<UpdateBatch> = match &opts.rib_updates {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            eleph_bgp::dump::read_updates(file)
+                .map_err(|e| io::Error::other(format!("{path}: {e}")))?
+        }
+        None => Vec::new(),
+    };
+
     // Checkpoint/resume plumbing: the checkpoint must be loaded before
     // the sink exists, because resuming truncates the output chain to
     // exactly the checkpointed interval count (exactly-once emission).
@@ -576,11 +623,35 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         None
     };
 
+    // With an update stream the table goes live: scheduled batches
+    // apply mid-stream without a refreeze. On resume, the checkpoint's
+    // generation of batches replays onto the fresh live table *before*
+    // the pipeline pins its view, so ids and the config fingerprint
+    // line up exactly with the run that wrote the snapshot.
+    let live = opts.rib_updates.as_ref().map(|_| LiveBgpTable::from_table(&table));
+    if let (Some(live), Some(c)) = (&live, &ckpt) {
+        let done = usize::try_from(c.generation()).unwrap_or(usize::MAX);
+        if done > updates.len() {
+            return Err(io::Error::other(format!(
+                "checkpoint rejected: it consumed {} update batches but the --rib-updates \
+                 stream holds {}",
+                c.generation(),
+                updates.len()
+            )));
+        }
+        for batch in &updates[..done] {
+            live.apply(&batch.updates);
+        }
+    }
+
     let mut builder = PipelineBuilder::new()
-        .table(&table)
         .detector(opts.make_detector())
         .gamma(opts.gamma)
         .scheme(opts.make_scheme());
+    builder = match &live {
+        Some(l) => builder.live(l).route_updates(updates),
+        None => builder.table(&table),
+    };
     builder = match &opts.out {
         Some(path) => builder.sink(match &ckpt {
             Some(c) => RotatingJsonlSink::resume(
@@ -700,7 +771,7 @@ fn summary_json(
         "{{\"eleph_run\":{{\"intervals\":{},\"prefixes\":{},\"offered\":{},\
          \"attributed\":{},\"attributed_bytes\":{},\"unroutable\":{},\
          \"out_of_window\":{},\"malformed\":{},\"late\":{},\"conserved\":{},\
-         \"far_future_streak\":{},\"resumed\":{}",
+         \"far_future_streak\":{},\"generation\":{},\"route_updates\":{},\"resumed\":{}",
         report.intervals,
         report.keys.len(),
         s.offered,
@@ -712,6 +783,8 @@ fn summary_json(
         s.late,
         s.is_conserved(),
         report.far_future_streak,
+        report.generation,
+        report.route_updates_applied,
         resumed,
     );
     if let Some(dir) = &opts.checkpoint_dir {
@@ -728,6 +801,172 @@ fn summary_json(
     }
     line.push_str("}}");
     line
+}
+
+/// Options of `eleph churn` — a deterministic route-update stream
+/// generator for exercising `eleph run --rib-updates`.
+#[derive(Debug, Clone)]
+pub struct ChurnOpts {
+    /// Synthetic table size to sample prefixes from (must match the
+    /// run's `--prefixes` for the updates to hit routed prefixes).
+    pub prefixes: usize,
+    /// Churn scenario seed.
+    pub seed: u64,
+    /// Base Unix time the scenario offsets add to.
+    pub start_unix: u64,
+    /// Withdraw-storm offset in seconds (relative to `start_unix`).
+    pub storm_at: u64,
+    /// Prefixes withdrawn by the storm (0 disables the storm).
+    pub storm_count: usize,
+    /// Seconds the storm's routes stay down.
+    pub storm_hold: u64,
+    /// First-flap offset in seconds (relative to `start_unix`).
+    pub flap_start: u64,
+    /// Number of flapping prefixes (0 disables flapping).
+    pub flap_count: usize,
+    /// Seconds between a flap's withdraw and its re-announce.
+    pub flap_period: u64,
+    /// Withdraw/announce cycles per flapping prefix.
+    pub flap_cycles: u32,
+    /// Whether the last re-announce is damped (8 × period suppression).
+    pub flap_damped: bool,
+    /// Update-stream destination (`None` = stdout).
+    pub out: Option<String>,
+}
+
+impl Default for ChurnOpts {
+    fn default() -> Self {
+        ChurnOpts {
+            prefixes: 20_000,
+            seed: 7,
+            start_unix: 0,
+            storm_at: 60,
+            storm_count: 16,
+            storm_hold: 120,
+            flap_start: 90,
+            flap_count: 4,
+            flap_period: 30,
+            flap_cycles: 3,
+            flap_damped: false,
+            out: None,
+        }
+    }
+}
+
+impl ChurnOpts {
+    /// Parse `eleph churn` arguments.
+    pub fn parse(args: &[String]) -> ChurnOpts {
+        let mut o = ChurnOpts::default();
+        let mut i = 0;
+        let value = |i: &mut usize, args: &[String]| -> String {
+            *i += 2;
+            args.get(*i - 1)
+                .unwrap_or_else(|| panic!("{} takes a value", args[*i - 2]))
+                .clone()
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--prefixes" => {
+                    o.prefixes = value(&mut i, args).parse().expect("--prefixes takes a count")
+                }
+                "--seed" => o.seed = value(&mut i, args).parse().expect("--seed takes an integer"),
+                "--start-unix" => {
+                    o.start_unix =
+                        value(&mut i, args).parse().expect("--start-unix takes a timestamp")
+                }
+                "--storm-at" => {
+                    o.storm_at = value(&mut i, args).parse().expect("--storm-at takes seconds")
+                }
+                "--storm-count" => {
+                    o.storm_count =
+                        value(&mut i, args).parse().expect("--storm-count takes a count")
+                }
+                "--storm-hold" => {
+                    o.storm_hold = value(&mut i, args).parse().expect("--storm-hold takes seconds")
+                }
+                "--flap-start" => {
+                    o.flap_start = value(&mut i, args).parse().expect("--flap-start takes seconds")
+                }
+                "--flap-count" => {
+                    o.flap_count = value(&mut i, args).parse().expect("--flap-count takes a count")
+                }
+                "--flap-period" => {
+                    o.flap_period =
+                        value(&mut i, args).parse().expect("--flap-period takes seconds")
+                }
+                "--flap-cycles" => {
+                    o.flap_cycles = value(&mut i, args).parse().expect("--flap-cycles takes a count")
+                }
+                "--flap-damped" => {
+                    o.flap_damped = true;
+                    i += 1;
+                }
+                "--out" => o.out = Some(value(&mut i, args)),
+                other => panic!("unknown argument {other}; try `eleph help`"),
+            }
+        }
+        assert!(
+            o.storm_count > 0 || o.flap_count > 0,
+            "eleph churn needs at least one scenario (--storm-count or --flap-count > 0)"
+        );
+        o
+    }
+
+    /// The scenario set these options describe.
+    pub fn config(&self) -> ChurnConfig {
+        let mut scenarios = Vec::new();
+        if self.storm_count > 0 {
+            scenarios.push(ChurnScenario::WithdrawReannounceStorm {
+                at_unix: self.start_unix + self.storm_at,
+                count: self.storm_count,
+                hold_secs: self.storm_hold,
+            });
+        }
+        if self.flap_count > 0 {
+            scenarios.push(ChurnScenario::Flap {
+                start_unix: self.start_unix + self.flap_start,
+                count: self.flap_count,
+                period_secs: self.flap_period,
+                flaps: self.flap_cycles,
+                damped: self.flap_damped,
+            });
+        }
+        ChurnConfig { seed: self.seed, scenarios }
+    }
+}
+
+/// `eleph churn`: sample prefixes from the same synthetic table `eleph
+/// run` defaults to and write a deterministic timed update stream —
+/// same options, same bytes, every time.
+pub fn run_churn(args: &[String]) -> io::Result<()> {
+    let opts = ChurnOpts::parse(args);
+    let table = eleph_bgp::synth::generate(&eleph_bgp::synth::SynthConfig {
+        n_prefixes: opts.prefixes,
+        ..eleph_bgp::synth::SynthConfig::default()
+    });
+    let batches = generate_churn(&table, &opts.config());
+    let n_updates: usize = batches.iter().map(|b| b.updates.len()).sum();
+    match &opts.out {
+        Some(path) => {
+            let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+            eleph_bgp::dump::write_updates(&batches, &mut file)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+        None => {
+            let stdout = io::stdout();
+            let mut lock = io::BufWriter::new(stdout.lock());
+            eleph_bgp::dump::write_updates(&batches, &mut lock)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+    }
+    eprintln!(
+        "{{\"eleph_churn\":{{\"batches\":{},\"updates\":{},\"prefixes\":{},\"seed\":{}}}}}",
+        batches.len(),
+        n_updates,
+        opts.prefixes,
+        opts.seed,
+    );
+    Ok(())
 }
 
 /// Unix second of the first record in a pcap file (0 for an empty

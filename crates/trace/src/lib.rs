@@ -31,7 +31,9 @@
 //!
 //! A [`FaultInjector`] mutates raw packet streams (drop / corrupt /
 //! truncate) for robustness testing, in the spirit of smoltcp's fault
-//! injection options.
+//! injection options, and [`generate_churn`] produces deterministic
+//! route announce/withdraw storms and flap-damping scenarios for
+//! stressing mid-stream re-attribution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +47,10 @@ mod rate;
 
 pub use config::{LinkSpec, WorkloadConfig};
 pub use diurnal::{DiurnalProfile, GaussianPeak};
-pub use fault::{CrashPoint, CrashSwitch, FaultAction, FaultConfig, FaultInjector, FaultStats};
+pub use fault::{
+    generate_churn, ChurnConfig, ChurnScenario, CrashPoint, CrashSwitch, FaultAction, FaultConfig,
+    FaultInjector, FaultStats,
+};
 pub use flows::{FlowId, FlowKind, FlowMeta, FlowPopulation};
 pub use packets::{PacketMix, PacketSynth};
 pub use rate::RateTrace;

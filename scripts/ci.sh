@@ -25,7 +25,12 @@
 #      no missing interval records). The gate is timing-independent: a
 #      kill that lands before the first checkpoint degrades to a fresh
 #      start, one that lands after completion re-seals the tail — both
-#      still must reproduce the reference bytes.
+#      still must reproduce the reference bytes;
+#   8. churn determinism: `eleph churn` generates a route-update
+#      schedule, the same capture is streamed twice with `--rib-updates`
+#      replaying that schedule mid-stream, and the two JSONL outputs
+#      must be byte-for-byte identical (update replay is a function of
+#      packet timestamps, never of IO chunking or wall-clock).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -88,6 +93,20 @@ echo "   victim $killed ($(wc -l < "$tmpdir/crash.jsonl") of 300 intervals durab
     --checkpoint-dir "$tmpdir/ckpt" --resume 2> /dev/null
 diff "$tmpdir/crash.jsonl" "$tmpdir/crash_ref.jsonl" \
     || { echo "crash safety: resumed output diverges from reference" >&2; exit 1; }
+
+echo "== churn determinism: replay the same update schedule twice, diff JSONL =="
+"$eleph" churn --prefixes 2000 --seed 9 --start-unix 995990400 \
+    --out "$tmpdir/updates.txt" 2> /dev/null
+churn_args=(run --synth --flows 200 --intervals 30 --interval-secs 20 --prefixes 2000
+    --rib-updates "$tmpdir/updates.txt")
+"$eleph" "${churn_args[@]}" --out "$tmpdir/churn1.jsonl" 2> "$tmpdir/churn1.summary"
+"$eleph" "${churn_args[@]}" --out "$tmpdir/churn2.jsonl" 2> "$tmpdir/churn2.summary"
+cmp "$tmpdir/churn1.jsonl" "$tmpdir/churn2.jsonl" \
+    || { echo "churn determinism: JSONL outputs diverge" >&2; exit 1; }
+cmp "$tmpdir/churn1.summary" "$tmpdir/churn2.summary" \
+    || { echo "churn determinism: summaries diverge" >&2; exit 1; }
+grep -q '"route_updates":0' "$tmpdir/churn1.summary" \
+    && { echo "churn determinism: no update batch was applied mid-stream" >&2; exit 1; }
 
 echo "== legacy shims byte-identical to eleph subcommands (fig1a, table1) =="
 cargo run -q --release -p eleph-report --bin eleph -- fig1a --scale 0.01 --seed 5 > "$tmpdir/eleph_fig1a"

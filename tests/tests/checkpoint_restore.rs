@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use eleph_bgp::synth::{self, SynthConfig};
-use eleph_bgp::BgpTable;
+use eleph_bgp::{BgpTable, LiveBgpTable, RouteUpdate, UpdateBatch};
 use eleph_core::{ConstantLoadDetector, Scheme};
 use eleph_packet::pcap::PcapWriter;
 use eleph_packet::{LinkType, PacketBuilder};
@@ -347,6 +347,89 @@ fn corrupted_checkpoint_files_are_rejected_on_disk() {
         _ => panic!("gamma mismatch must be rejected"),
     }
     fs::remove_dir_all(&dir).ok();
+}
+
+/// A checkpoint taken from a live-table run records the table
+/// generation; resuming against a table at any *other* generation —
+/// a fresh live table nobody replayed, or a frozen table pinned at
+/// generation 0 — must be refused with the typed mismatch naming the
+/// field. Replaying the schedule to the recorded generation first
+/// makes the same checkpoint acceptable again.
+#[test]
+fn resume_against_wrong_table_generation_is_a_typed_mismatch() {
+    let (table, pcap, t, start, n) = small_capture(403);
+    let scheme = Scheme::LatentHeat { window: 2 };
+    let victim = table.iter().next().expect("nonempty table").prefix;
+    // One withdraw early in the capture: the run ends at generation 1.
+    let schedule = vec![UpdateBatch {
+        at_unix: start + t / 2,
+        updates: vec![RouteUpdate::Withdraw(victim)],
+    }];
+
+    let live = LiveBgpTable::from_table(&table);
+    let mut pipeline = PipelineBuilder::new()
+        .live(&live)
+        .interval_secs(t)
+        .start_unix(start)
+        .n_intervals(n)
+        .detector(ConstantLoadDetector::new(BETA))
+        .gamma(GAMMA)
+        .scheme(scheme)
+        .route_updates(schedule.clone())
+        .build();
+    pipeline
+        .run(PcapSource::new(&pcap[..]).expect("valid pcap"))
+        .expect("checkpointed run");
+    let mut bytes = Vec::new();
+    pipeline.checkpoint(&mut bytes).expect("serialize checkpoint");
+    let ckpt = Checkpoint::read_from(&mut &bytes[..]).expect("decode checkpoint");
+    assert_eq!(ckpt.generation(), 1, "the withdraw batch was consumed");
+
+    // A fresh live table still at generation 0 — the driver forgot to
+    // replay the consumed batches — is refused.
+    let stale = LiveBgpTable::from_table(&table);
+    match PipelineBuilder::new()
+        .live(&stale)
+        .interval_secs(t)
+        .start_unix(start)
+        .n_intervals(n)
+        .detector(ConstantLoadDetector::new(BETA))
+        .gamma(GAMMA)
+        .scheme(scheme)
+        .route_updates(schedule.clone())
+        .resume(&ckpt)
+    {
+        Err(CheckpointError::Mismatch(what)) => {
+            assert!(what.contains("table generation"), "mismatch names the field: {what}")
+        }
+        _ => panic!("stale live table must be rejected"),
+    }
+
+    // A frozen table is forever at generation 0: it can never host a
+    // checkpoint born from a live run that applied updates.
+    match builder(&table, scheme, t, start, n).resume(&ckpt) {
+        Err(CheckpointError::Mismatch(what)) => {
+            assert!(what.contains("table generation"), "mismatch names the field: {what}")
+        }
+        _ => panic!("frozen table must be rejected"),
+    }
+
+    // Replayed to exactly the recorded generation, the checkpoint loads.
+    let replayed = LiveBgpTable::from_table(&table);
+    for batch in &schedule[..ckpt.generation() as usize] {
+        replayed.apply(&batch.updates);
+    }
+    PipelineBuilder::new()
+        .live(&replayed)
+        .interval_secs(t)
+        .start_unix(start)
+        .n_intervals(n)
+        .detector(ConstantLoadDetector::new(BETA))
+        .gamma(GAMMA)
+        .scheme(scheme)
+        .route_updates(schedule)
+        .resume(&ckpt)
+        .expect("replayed table matches the recorded generation");
 }
 
 /// A compact random packet (same generator as the streaming-equivalence
