@@ -44,11 +44,16 @@ mod classify;
 pub mod holding;
 mod online;
 pub mod prefix_analysis;
+mod shard;
 mod threshold;
 mod tracker;
 
 pub use classify::{classify, classify_many, ClassificationResult, ClassifyConfig, Scheme};
 pub use online::{ClassifierState, IntervalOutcome, OnlineClassifier};
+pub use shard::{
+    merge_observations, merge_states, partition_state, ClassifierPart, PartObservation,
+    PartState, SealContext, SealCoordinator,
+};
 pub use threshold::{
     AestDetector, ConstantLoadDetector, PercentileDetector, ThresholdDetector, TopNDetector,
 };

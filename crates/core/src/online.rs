@@ -48,6 +48,23 @@ impl IntervalOutcome {
     }
 }
 
+/// The sliding-window length a scheme classifies over: the latent-heat
+/// window, or 1 for the single-interval schemes. Panics on invalid
+/// scheme parameters (same contract as [`OnlineClassifier::new`]).
+pub(crate) fn scheme_window(scheme: Scheme) -> usize {
+    match scheme {
+        Scheme::LatentHeat { window } => {
+            assert!(window >= 1, "latent-heat window must be >= 1");
+            window
+        }
+        Scheme::SingleFeature => 1,
+        Scheme::Hysteresis { enter, exit } => {
+            assert!(enter >= 1.0 && (0.0..=1.0).contains(&exit), "need exit <= 1 <= enter");
+            1
+        }
+    }
+}
+
 /// The full recovery frontier of an [`OnlineClassifier`], exported for
 /// checkpointing and re-imported on restart.
 ///
@@ -75,6 +92,66 @@ pub struct ClassifierState {
     /// The previous interval's elephants (hysteresis membership),
     /// ascending by key id; empty for the other schemes.
     pub members: Vec<KeyId>,
+}
+
+impl ClassifierState {
+    /// Structurally validate this state against a scheme: history
+    /// bounded by the scheme's window, key lists and snapshots ascending,
+    /// membership only under hysteresis, and per-key occupancy counts
+    /// exactly matching the history (the retire path depends on that
+    /// invariant to release state). Shared by
+    /// [`OnlineClassifier::from_state`] and the sharded partition/merge
+    /// path, so a corrupt state is rejected identically everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheme parameters are invalid (same contract as
+    /// [`OnlineClassifier::new`]).
+    pub fn validate(&self, scheme: Scheme) -> Result<(), String> {
+        let window = scheme_window(scheme);
+        if self.history.len() > window {
+            return Err(format!(
+                "classifier state holds {} history slots for a window of {}",
+                self.history.len(),
+                window
+            ));
+        }
+        if !self.per_key.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("per-key state not ascending by key id".to_string());
+        }
+        if !self.members.windows(2).all(|w| w[0] < w[1]) {
+            return Err("membership list not ascending by key id".to_string());
+        }
+        if !matches!(scheme, Scheme::Hysteresis { .. }) && !self.members.is_empty() {
+            return Err("membership state present for a non-hysteresis scheme".to_string());
+        }
+        // Occupancy must match the history exactly: live[k] is defined
+        // as the number of in-window snapshots containing k, and the
+        // retire path depends on that invariant to release state.
+        let mut live_check: Vec<(KeyId, u32)> =
+            self.per_key.iter().map(|&(key, _, _)| (key, 0)).collect();
+        for (_, snapshot) in &self.history {
+            if !snapshot.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err("history snapshot not ascending by key id".to_string());
+            }
+            for &(key, _) in snapshot {
+                match live_check.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(at) => live_check[at].1 += 1,
+                    Err(_) => {
+                        return Err(format!("history references key {key} absent from per-key state"))
+                    }
+                }
+            }
+        }
+        for (&(key, _, live), &(_, counted)) in self.per_key.iter().zip(&live_check) {
+            if live == 0 || live != counted {
+                return Err(format!(
+                    "key {key} occupancy {live} does not match its {counted} history slots"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Incremental implementation of all three classification schemes.
@@ -116,17 +193,7 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
     ///
     /// Panics when γ is outside [0, 1) or a latent-heat window is 0.
     pub fn new(detector: D, gamma: f64, scheme: Scheme) -> Self {
-        let window = match scheme {
-            Scheme::LatentHeat { window } => {
-                assert!(window >= 1, "latent-heat window must be >= 1");
-                window
-            }
-            Scheme::SingleFeature => 1,
-            Scheme::Hysteresis { enter, exit } => {
-                assert!(enter >= 1.0 && (0.0..=1.0).contains(&exit), "need exit <= 1 <= enter");
-                1
-            }
-        };
+        let window = scheme_window(scheme);
         OnlineClassifier {
             tracker: ThresholdTracker::new(detector, gamma),
             scheme,
@@ -302,47 +369,7 @@ impl<D: ThresholdDetector> OnlineClassifier<D> {
         state: ClassifierState,
     ) -> Result<Self, String> {
         let mut classifier = OnlineClassifier::new(detector, gamma, scheme);
-        if state.history.len() > classifier.window {
-            return Err(format!(
-                "classifier state holds {} history slots for a window of {}",
-                state.history.len(),
-                classifier.window
-            ));
-        }
-        if !state.per_key.windows(2).all(|w| w[0].0 < w[1].0) {
-            return Err("per-key state not ascending by key id".to_string());
-        }
-        if !state.members.windows(2).all(|w| w[0] < w[1]) {
-            return Err("membership list not ascending by key id".to_string());
-        }
-        if !matches!(scheme, Scheme::Hysteresis { .. }) && !state.members.is_empty() {
-            return Err("membership state present for a non-hysteresis scheme".to_string());
-        }
-        // Occupancy must match the history exactly: live[k] is defined
-        // as the number of in-window snapshots containing k, and the
-        // retire path depends on that invariant to release state.
-        let mut live_check: Vec<(KeyId, u32)> =
-            state.per_key.iter().map(|&(key, _, _)| (key, 0)).collect();
-        for (_, snapshot) in &state.history {
-            if !snapshot.windows(2).all(|w| w[0].0 < w[1].0) {
-                return Err("history snapshot not ascending by key id".to_string());
-            }
-            for &(key, _) in snapshot {
-                match live_check.binary_search_by_key(&key, |&(k, _)| k) {
-                    Ok(at) => live_check[at].1 += 1,
-                    Err(_) => {
-                        return Err(format!("history references key {key} absent from per-key state"))
-                    }
-                }
-            }
-        }
-        for (&(key, _, live), &(_, counted)) in state.per_key.iter().zip(&live_check) {
-            if live == 0 || live != counted {
-                return Err(format!(
-                    "key {key} occupancy {live} does not match its {counted} history slots"
-                ));
-            }
-        }
+        state.validate(scheme)?;
         classifier.tracker.restore_smoothed(state.smoothed);
         classifier.sum_t = state.sum_t;
         for &(key, sum, live) in &state.per_key {

@@ -36,6 +36,7 @@
 
 mod aggregate;
 mod matrix;
+mod shard;
 mod window;
 
 pub use aggregate::{
@@ -44,4 +45,5 @@ pub use aggregate::{
     AggregatorStats, FrozenTableRef, KeyAllocator, ATTRIBUTION_CHUNK, NO_KEY,
 };
 pub use matrix::{BandwidthMatrix, IntervalView, KeyId};
+pub use shard::ShardSpec;
 pub use window::busiest_window;

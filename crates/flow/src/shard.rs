@@ -1,0 +1,117 @@
+//! Key-space sharding: which of N workers owns a [`KeyId`].
+//!
+//! The sharded streaming pipeline partitions all per-key state by a
+//! fixed function of the key id. Key ids are assigned first-seen by
+//! [`crate::KeyAllocator`] on the attribution thread (their order is a
+//! property of the packet stream, never of worker scheduling), and the
+//! allocator hands each `(key, bytes)` pair off to the worker selected
+//! by [`ShardSpec::owns`] — a modulo split, so a shard's keys form an
+//! arithmetic progression and its *local* dense index is just
+//! `key / n_shards`. Ascending local index is ascending global key
+//! within a shard, which is what lets the seal barrier merge per-shard
+//! results back into global key order with an N-way merge instead of a
+//! sort.
+
+use crate::KeyId;
+
+/// One shard's identity in an N-way key partition.
+///
+/// The partition function is `key % n_shards`; it is part of the
+/// pipeline's equivalence contract (checkpoints written by a sharded
+/// run restore into any shard count, because state is exported merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    shard: u32,
+    n_shards: u32,
+}
+
+impl ShardSpec {
+    /// Shard `shard` of `n_shards` (`shard < n_shards`, `n_shards ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_shards` is 0 or `shard` is out of range.
+    pub fn new(shard: usize, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(shard < n_shards, "shard {shard} out of range for {n_shards} shards");
+        ShardSpec {
+            shard: shard as u32,
+            n_shards: n_shards as u32,
+        }
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+
+    /// Total number of shards in the partition.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards as usize
+    }
+
+    /// Whether this shard owns `key`.
+    #[inline]
+    pub fn owns(&self, key: KeyId) -> bool {
+        key % self.n_shards == self.shard
+    }
+
+    /// The shard that owns `key` (same partition function as
+    /// [`ShardSpec::owns`], for the routing side of the handoff).
+    #[inline]
+    pub fn owner(key: KeyId, n_shards: usize) -> usize {
+        (key as usize) % n_shards
+    }
+
+    /// Dense local index of an owned key (`key / n_shards`). Ascending
+    /// local index is ascending global key within the shard.
+    #[inline]
+    pub fn local(&self, key: KeyId) -> usize {
+        debug_assert!(self.owns(key));
+        (key / self.n_shards) as usize
+    }
+
+    /// The global key at a local index — inverse of [`ShardSpec::local`].
+    #[inline]
+    pub fn global(&self, local: usize) -> KeyId {
+        local as KeyId * self.n_shards + self.shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_every_key_exactly_once() {
+        for n in [1usize, 2, 4, 7] {
+            let specs: Vec<ShardSpec> = (0..n).map(|s| ShardSpec::new(s, n)).collect();
+            for key in 0..200u32 {
+                let owners: Vec<usize> =
+                    specs.iter().filter(|s| s.owns(key)).map(|s| s.shard()).collect();
+                assert_eq!(owners.len(), 1, "key {key} owned by {owners:?}");
+                assert_eq!(owners[0], ShardSpec::owner(key, n));
+            }
+        }
+    }
+
+    #[test]
+    fn local_global_round_trip_preserves_order() {
+        for n in [1usize, 2, 4, 7] {
+            for s in 0..n {
+                let spec = ShardSpec::new(s, n);
+                let owned: Vec<KeyId> = (0..300u32).filter(|&k| spec.owns(k)).collect();
+                for (i, &key) in owned.iter().enumerate() {
+                    assert_eq!(spec.local(key), i);
+                    assert_eq!(spec.global(i), key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let _ = ShardSpec::new(3, 3);
+    }
+}

@@ -47,6 +47,7 @@ mod ethernet;
 mod ipv4;
 mod meta;
 pub mod pcap;
+pub mod pool;
 mod tcp;
 mod udp;
 

@@ -358,6 +358,45 @@ impl<'a> PcapSlice<'a> {
         Ok(n)
     }
 
+    /// [`PcapSlice::next_batch`] yielding byte *spans* (offsets into the
+    /// input buffer) instead of borrowed sub-slices.
+    ///
+    /// Spans are what cross threads: a slice borrow ties the batch to
+    /// the cursor's lifetime, but a `(header, offset range)` pair is
+    /// `'static` — a framer thread can scan ahead over a shared
+    /// (`Arc`ed) capture and hand record spans to parser threads, each
+    /// of which resolves its spans against its own clone of the buffer.
+    /// No record bytes are copied at any point (see
+    /// [`crate::pool::PooledReader`]).
+    ///
+    /// Same scan-ahead warming and same error contract as
+    /// [`PcapSlice::next_batch`]: spans already appended to `out` are
+    /// valid, the cursor stops at the damaged record.
+    pub fn next_batch_spans(
+        &mut self,
+        max: usize,
+        out: &mut Vec<(RecordHeader, std::ops::Range<usize>)>,
+    ) -> Result<usize> {
+        let mut touched = self.pos;
+        let mut n = 0;
+        while n < max {
+            let target = (self.pos + SCAN_AHEAD_BYTES).min(self.data.len());
+            while touched < target {
+                touch_ahead(&self.data[touched]);
+                touched += CACHE_LINE;
+            }
+            let body = self.pos + 16;
+            match self.next_record()? {
+                Some((head, data)) => {
+                    out.push((head, body..body + data.len()));
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
     /// The next record's header and its captured bytes, borrowed from
     /// the input; `Ok(None)` on clean end-of-input.
     pub fn next_record(&mut self) -> Result<Option<(RecordHeader, &'a [u8])>> {

@@ -67,6 +67,7 @@
 
 mod checkpoint;
 mod pipeline;
+mod shard;
 mod sink;
 mod source;
 
@@ -80,4 +81,6 @@ pub use sink::{
     CallbackSink, CollectedInterval, Collector, CollectorSink, JsonlSink, RotatingJsonlSink,
     SealedInterval, Sink,
 };
-pub use source::{FaultedPcapSource, MetaSource, PacketSource, PcapSource, TraceSource};
+pub use source::{
+    FaultedPcapSource, MetaSource, PacketSource, PcapSource, PooledPcapSource, TraceSource,
+};

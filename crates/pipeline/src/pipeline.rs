@@ -5,8 +5,8 @@ use std::fmt;
 
 use eleph_bgp::{BgpTable, FrozenBgpTable, LiveBgpTable, RouteId, TableView, UpdateBatch};
 use eleph_core::{
-    ConstantLoadDetector, OnlineClassifier, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
-    PAPER_LATENT_WINDOW,
+    ClassifierState, ConstantLoadDetector, IntervalOutcome, OnlineClassifier, Scheme,
+    ThresholdDetector, PAPER_BETA, PAPER_GAMMA, PAPER_LATENT_WINDOW,
 };
 use eleph_flow::{attribute_metas, FrozenTableRef, KeyAllocator, KeyId};
 use eleph_net::Prefix;
@@ -14,6 +14,7 @@ use eleph_packet::{LinkType, PacketMeta};
 use eleph_trace::{CrashPoint, CrashSwitch};
 
 use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointError, Checkpointer};
+use crate::shard::ShardEngine;
 use crate::sink::{SealedInterval, Sink};
 use crate::source::PacketSource;
 
@@ -227,6 +228,7 @@ pub struct PipelineBuilder<'t, D> {
     detector: D,
     gamma: f64,
     scheme: Scheme,
+    shards: usize,
     sinks: Vec<Box<dyn Sink>>,
     crash: Option<CrashSwitch>,
 }
@@ -244,6 +246,7 @@ impl Default for PipelineBuilder<'_, ConstantLoadDetector> {
             scheme: Scheme::LatentHeat {
                 window: PAPER_LATENT_WINDOW,
             },
+            shards: 0,
             sinks: Vec::new(),
             crash: None,
         }
@@ -338,6 +341,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             detector,
             gamma: self.gamma,
             scheme: self.scheme,
+            shards: self.shards,
             sinks: self.sinks,
             crash: self.crash,
         }
@@ -352,6 +356,18 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     /// Classification scheme (single-feature, latent heat, hysteresis).
     pub fn scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
+        self
+    }
+
+    /// Partition the online path over `n` worker threads, each owning
+    /// the byte row and classifier state for `key % n == shard`. `0`
+    /// (the default) runs everything inline on the pipeline thread;
+    /// any `n ≥ 1` uses the sharded engine (so `--shards 1` measures
+    /// pure coordination overhead). Output — thresholds, elephant sets,
+    /// loads, checkpoints — is bit-identical for every value of `n`;
+    /// see the `shard` module docs for why.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 
@@ -387,26 +403,35 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
         let (start_ns, interval_ns) =
             eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
         let n_routes = table.id_space();
+        let secs = self.interval_secs as f64;
+        let engine = if self.shards == 0 {
+            Engine::serial(OnlineClassifier::new(self.detector, self.gamma, self.scheme))
+        } else {
+            Engine::Sharded(ShardEngine::new(
+                self.detector,
+                self.gamma,
+                self.scheme,
+                self.shards,
+                secs,
+            ))
+        };
         Pipeline {
             table,
             updates: self.updates,
             update_ns,
             next_update: 0,
             interval_secs: self.interval_secs,
-            secs: self.interval_secs as f64,
+            secs,
             start_unix: self.start_unix,
             start_ns,
             interval_ns,
             n_intervals: self.n_intervals,
-            classifier: OnlineClassifier::new(self.detector, self.gamma, self.scheme),
+            engine,
             sinks: self.sinks,
             key_alloc: KeyAllocator::new(n_routes),
             route_scratch: Vec::new(),
             far_future_streak: 0,
             keys: Vec::new(),
-            row: Vec::new(),
-            touched: Vec::new(),
-            snapshot: Vec::new(),
             open: 0,
             stats: PipelineStats::default(),
             crash: self.crash,
@@ -526,9 +551,6 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             &ckpt.keys.iter().map(|&(route, _)| route).collect::<Vec<_>>(),
         )
         .map_err(CheckpointError::State)?;
-        let classifier =
-            OnlineClassifier::from_state(self.detector, self.gamma, self.scheme, ckpt.state.clone())
-                .map_err(CheckpointError::State)?;
         let open = ckpt.open as usize;
         if let Some(n) = self.n_intervals {
             if open > n {
@@ -537,7 +559,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
                 )));
             }
         }
-        // Rebuild the open interval's dense byte row.
+        // Rebuild (and validate) the open interval's dense byte row.
         let n_keys = ckpt.keys.len();
         let mut row = vec![0u64; n_keys];
         let mut touched = Vec::with_capacity(ckpt.row.len());
@@ -551,6 +573,36 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             *slot = bytes;
             touched.push(key);
         }
+        let secs = self.interval_secs as f64;
+        // Checkpoints are shard-count-independent: the serial state
+        // either restores directly or partitions onto fresh workers.
+        let engine = if self.shards == 0 {
+            let classifier = OnlineClassifier::from_state(
+                self.detector,
+                self.gamma,
+                self.scheme,
+                ckpt.state.clone(),
+            )
+            .map_err(CheckpointError::State)?;
+            Engine::Serial {
+                classifier,
+                row,
+                touched,
+                snapshot: Vec::new(),
+            }
+        } else {
+            ShardEngine::resume(
+                self.detector,
+                self.gamma,
+                self.scheme,
+                self.shards,
+                secs,
+                &ckpt.state,
+                &ckpt.row,
+            )
+            .map(Engine::Sharded)
+            .map_err(CheckpointError::State)?
+        };
         let (start_ns, interval_ns) =
             eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
         Ok(Pipeline {
@@ -559,20 +611,17 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             update_ns,
             next_update,
             interval_secs: self.interval_secs,
-            secs: self.interval_secs as f64,
+            secs,
             start_unix: self.start_unix,
             start_ns,
             interval_ns,
             n_intervals: self.n_intervals,
-            classifier,
+            engine,
             sinks: self.sinks,
             key_alloc,
             route_scratch: Vec::new(),
             far_future_streak: ckpt.far_future_streak,
             keys: ckpt.keys.iter().map(|&(_, prefix)| prefix).collect(),
-            row,
-            touched,
-            snapshot: Vec::new(),
             open,
             stats: ckpt.stats,
             crash: self.crash,
@@ -615,6 +664,150 @@ fn update_schedule(table: &TableHandle<'_>, updates: &[UpdateBatch]) -> Vec<u64>
     ns
 }
 
+/// The classification engine behind a [`Pipeline`]: the open byte row
+/// plus the online classifier, either inline on the pipeline thread
+/// (serial — the default) or partitioned over shard workers. Both
+/// variants expose the identical bin/seal/frontier surface and produce
+/// bit-identical output; the pipeline's window logic, sealing cadence,
+/// sinks and crash points never branch on the variant.
+enum Engine<D: ThresholdDetector> {
+    Serial {
+        classifier: OnlineClassifier<D>,
+        /// Open interval: bytes per key, dense, indexed by [`KeyId`].
+        row: Vec<u64>,
+        /// Keys with nonzero bytes in the open interval (unsorted until
+        /// sealing).
+        touched: Vec<KeyId>,
+        /// Seal-path scratch: the sparse snapshot handed to the
+        /// classifier.
+        snapshot: Vec<(KeyId, f32)>,
+    },
+    Sharded(ShardEngine<D>),
+}
+
+impl<D: ThresholdDetector> Engine<D> {
+    fn serial(classifier: OnlineClassifier<D>) -> Self {
+        Engine::Serial {
+            classifier,
+            row: Vec::new(),
+            touched: Vec::new(),
+            snapshot: Vec::new(),
+        }
+    }
+
+    /// Bin attributed bytes into the open interval.
+    #[inline]
+    fn bin(&mut self, key: KeyId, bytes: u64) {
+        match self {
+            Engine::Serial { row, touched, .. } => {
+                let k = key as usize;
+                if k >= row.len() {
+                    row.resize(k + 1, 0);
+                }
+                // First nonzero bytes for this key this interval:
+                // remember it for the seal scan (zero-length packets are
+                // attributed but, like the batch path, leave no entry).
+                if row[k] == 0 && bytes > 0 {
+                    touched.push(key);
+                }
+                row[k] += bytes;
+            }
+            Engine::Sharded(engine) => engine.bin(key, bytes),
+        }
+    }
+
+    /// Seal the open interval: build its sparse snapshot (ascending by
+    /// key id, rates converted with the exact arithmetic of the batch
+    /// matrix) and classify it.
+    fn seal_interval(&mut self, secs: f64) -> IntervalOutcome {
+        match self {
+            Engine::Serial {
+                classifier,
+                row,
+                touched,
+                snapshot,
+            } => {
+                touched.sort_unstable();
+                snapshot.clear();
+                for &key in touched.iter() {
+                    let bytes = row[key as usize];
+                    row[key as usize] = 0;
+                    debug_assert!(bytes > 0, "touched key with zero bytes");
+                    // Identical expression to the batch `matrix_from_rows`,
+                    // so the f32 rate is bit-identical.
+                    snapshot.push((key, (bytes as f64 * 8.0 / secs) as f32));
+                }
+                touched.clear();
+                classifier.observe(snapshot)
+            }
+            Engine::Sharded(engine) => engine.seal_interval(),
+        }
+    }
+
+    /// Whether the open interval holds any attributed traffic.
+    fn has_open_traffic(&self) -> bool {
+        match self {
+            Engine::Serial { touched, .. } => !touched.is_empty(),
+            Engine::Sharded(engine) => engine.has_open_traffic(),
+        }
+    }
+
+    /// The recovery frontier: the open row as sorted `(key, bytes)`
+    /// pairs plus the (serial-form) classifier state.
+    fn frontier(&self) -> (Vec<(KeyId, u64)>, ClassifierState) {
+        match self {
+            Engine::Serial {
+                classifier,
+                row,
+                touched,
+                ..
+            } => {
+                let mut pairs: Vec<(KeyId, u64)> =
+                    touched.iter().map(|&key| (key, row[key as usize])).collect();
+                pairs.sort_unstable();
+                (pairs, classifier.export_state())
+            }
+            Engine::Sharded(engine) => engine.frontier(),
+        }
+    }
+
+    fn gamma(&self) -> f64 {
+        match self {
+            Engine::Serial { classifier, .. } => classifier.gamma(),
+            Engine::Sharded(engine) => engine.gamma(),
+        }
+    }
+
+    fn scheme(&self) -> Scheme {
+        match self {
+            Engine::Serial { classifier, .. } => classifier.scheme(),
+            Engine::Sharded(engine) => engine.scheme(),
+        }
+    }
+
+    fn detector_name(&self) -> String {
+        match self {
+            Engine::Serial { classifier, .. } => classifier.detector_name(),
+            Engine::Sharded(engine) => engine.detector_name(),
+        }
+    }
+
+    fn tracked_keys(&self) -> usize {
+        match self {
+            Engine::Serial { classifier, .. } => classifier.tracked_keys(),
+            Engine::Sharded(engine) => engine.tracked_keys(),
+        }
+    }
+
+    /// Number of shard workers (0 = serial).
+    fn n_shards(&self) -> usize {
+        match self {
+            Engine::Serial { .. } => 0,
+            Engine::Sharded(engine) => engine.n_shards(),
+        }
+    }
+}
+
 /// The streaming pipeline: feed packets (or [`Pipeline::run`] a whole
 /// [`PacketSource`]), get per-interval classifications at the sinks.
 ///
@@ -636,7 +829,7 @@ pub struct Pipeline<'t, D: ThresholdDetector> {
     start_ns: u64,
     interval_ns: u64,
     n_intervals: Option<usize>,
-    classifier: OnlineClassifier<D>,
+    engine: Engine<D>,
     sinks: Vec<Box<dyn Sink>>,
     /// Shared first-seen key assignment (the same allocator the batch
     /// aggregator uses, so the two paths cannot drift on key order).
@@ -648,13 +841,6 @@ pub struct Pipeline<'t, D: ThresholdDetector> {
     far_future_streak: u32,
     /// Prefix of each key, in global first-seen order.
     keys: Vec<Prefix>,
-    /// Open interval: bytes per key, dense, indexed by [`KeyId`].
-    row: Vec<u64>,
-    /// Keys with nonzero bytes in the open interval (unsorted until
-    /// sealing).
-    touched: Vec<KeyId>,
-    /// Seal-path scratch: the sparse snapshot handed to the classifier.
-    snapshot: Vec<(KeyId, f32)>,
     /// Index of the open (not yet sealed) interval.
     open: usize,
     stats: PipelineStats,
@@ -890,40 +1076,18 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
             debug_assert_eq!(key as usize, self.keys.len());
             self.keys.push(self.table.prefix(route));
         }
-        let k = key as usize;
-        if k >= self.row.len() {
-            self.row.resize(k + 1, 0);
-        }
         let bytes = u64::from(meta.wire_len);
-        // First nonzero bytes for this key this interval: remember it
-        // for the seal scan (zero-length packets are attributed but,
-        // like the batch path, leave no interval entry).
-        if self.row[k] == 0 && bytes > 0 {
-            self.touched.push(key);
-        }
-        self.row[k] += bytes;
+        self.engine.bin(key, bytes);
         self.stats.attributed += 1;
         self.stats.attributed_bytes += bytes;
         Ok(())
     }
 
-    /// Seal the open interval: build its sparse snapshot (ascending by
-    /// key id, rates converted with the exact arithmetic of the batch
-    /// matrix), classify, fan out to the sinks, advance.
+    /// Seal the open interval: classify its snapshot (see
+    /// [`Engine::seal_interval`]), fan out to the sinks, advance.
     fn seal(&mut self) -> Result<()> {
-        self.touched.sort_unstable();
-        self.snapshot.clear();
-        for &key in &self.touched {
-            let bytes = self.row[key as usize];
-            self.row[key as usize] = 0;
-            debug_assert!(bytes > 0, "touched key with zero bytes");
-            // Identical expression to the batch `matrix_from_rows`, so
-            // the f32 rate is bit-identical.
-            self.snapshot.push((key, (bytes as f64 * 8.0 / self.secs) as f32));
-        }
-        self.touched.clear();
         let seal_index = self.open;
-        let outcome = self.classifier.observe(&self.snapshot);
+        let outcome = self.engine.seal_interval(self.secs);
         if self.crash_now(CrashPoint::AfterSeal, seal_index) {
             // The classifier advanced in memory only; nothing durable
             // recorded this interval. A resume replays it entirely.
@@ -966,17 +1130,18 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
     pub(crate) fn export_checkpoint(&self) -> Checkpoint {
         let key_routes = self.key_alloc.key_routes();
         debug_assert_eq!(key_routes.len(), self.keys.len());
-        let mut row: Vec<(KeyId, u64)> =
-            self.touched.iter().map(|&key| (key, self.row[key as usize])).collect();
-        row.sort_unstable();
+        // Sharded engines merge their workers' rows and states back
+        // into the serial form here, so the checkpoint layout (and its
+        // format v2 fingerprint) is independent of the shard count.
+        let (row, state) = self.engine.frontier();
         Checkpoint {
             config: CheckpointConfig {
                 interval_secs: self.interval_secs,
                 start_unix: self.start_unix,
                 n_intervals: self.n_intervals.map(|n| n as u64),
-                gamma: self.classifier.gamma(),
-                scheme: self.classifier.scheme(),
-                detector: self.classifier.detector_name(),
+                gamma: self.engine.gamma(),
+                scheme: self.engine.scheme(),
+                detector: self.engine.detector_name(),
                 n_routes: self.table.id_space() as u64,
                 generation: self.table.generation(),
             },
@@ -989,7 +1154,7 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
                 .map(|(&route, &prefix)| (route, prefix))
                 .collect(),
             row,
-            state: self.classifier.export_state(),
+            state,
         }
     }
 
@@ -1007,7 +1172,7 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
                 }
             }
             None => {
-                if !self.touched.is_empty() {
+                if self.engine.has_open_traffic() {
                     self.seal()?;
                 }
             }
@@ -1050,7 +1215,13 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
 
     /// Keys currently holding classifier window state.
     pub fn tracked_keys(&self) -> usize {
-        self.classifier.tracked_keys()
+        self.engine.tracked_keys()
+    }
+
+    /// Number of shard workers the online path runs on (0 = serial,
+    /// everything inline on the pipeline thread).
+    pub fn n_shards(&self) -> usize {
+        self.engine.n_shards()
     }
 }
 
@@ -1128,6 +1299,14 @@ mod tests {
     }
 
     fn run_pipeline(metas: Vec<PacketMeta>, scheme: Scheme) -> (Vec<crate::CollectedInterval>, PipelineReport) {
+        run_pipeline_sharded(metas, scheme, 0)
+    }
+
+    fn run_pipeline_sharded(
+        metas: Vec<PacketMeta>,
+        scheme: Scheme,
+        shards: usize,
+    ) -> (Vec<crate::CollectedInterval>, PipelineReport) {
         let t = table();
         let collector = Collector::new();
         let mut p = PipelineBuilder::new()
@@ -1138,6 +1317,7 @@ mod tests {
             .detector(ConstantLoadDetector::new(0.8))
             .gamma(0.9)
             .scheme(scheme)
+            .shards(shards)
             .sink(collector.sink())
             .build();
         p.run(MetaSource::new(metas)).expect("run");
@@ -1174,6 +1354,93 @@ mod tests {
                 assert_eq!(o.elephant_load.to_bits(), batch.elephant_load[n].to_bits());
                 assert_eq!(o.total_load.to_bits(), batch.total_load[n].to_bits());
                 assert_eq!(got.interval_start_unix, 1000 + n as u64 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_bit_for_bit() {
+        for scheme in [
+            Scheme::SingleFeature,
+            Scheme::LatentHeat { window: 2 },
+            Scheme::Hysteresis { enter: 1.2, exit: 0.6 },
+        ] {
+            let (serial, serial_report) = run_pipeline(stream(), scheme);
+            for shards in [1, 2, 4, 7] {
+                let (sharded, report) = run_pipeline_sharded(stream(), scheme, shards);
+                assert_eq!(sharded.len(), serial.len(), "{scheme:?} shards={shards}");
+                for (s, g) in serial.iter().zip(&sharded) {
+                    let (a, b) = (&s.outcome, &g.outcome);
+                    assert_eq!(a.interval, b.interval);
+                    assert_eq!(a.elephants, b.elephants, "{scheme:?} shards={shards}");
+                    assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+                    assert_eq!(a.elephant_load.to_bits(), b.elephant_load.to_bits());
+                    assert_eq!(a.total_load.to_bits(), b.total_load.to_bits());
+                }
+                assert_eq!(report.stats, serial_report.stats);
+                assert_eq!(report.keys, serial_report.keys);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_bytes_equal_serial_and_cross_resume() {
+        // The same prefix of the stream, consumed serially and sharded,
+        // must export byte-identical checkpoints (shard count is not
+        // part of the recovery frontier) — and either checkpoint must
+        // resume under either engine to the identical tail.
+        let metas = stream();
+        let scheme = Scheme::LatentHeat { window: 2 };
+        let split = 4; // mid-stream, with the open interval non-empty
+        let t = table();
+        let build = |shards: usize| {
+            PipelineBuilder::new()
+                .table(&t)
+                .interval_secs(10)
+                .start_unix(1000)
+                .n_intervals(3)
+                .scheme(scheme)
+                .shards(shards)
+                .build()
+        };
+        let export = |shards: usize| {
+            let mut p = build(shards);
+            p.observe_chunk(&metas[..split]).unwrap();
+            let mut bytes = Vec::new();
+            p.checkpoint(&mut bytes).unwrap();
+            bytes
+        };
+        let serial_ckpt = export(0);
+        for shards in [1, 2, 4, 7] {
+            assert_eq!(export(shards), serial_ckpt, "checkpoint bytes, shards={shards}");
+        }
+        // Reference: the serial run over the whole stream.
+        let (reference, _) = run_pipeline(metas.clone(), scheme);
+        let ckpt = Checkpoint::read_from(&mut serial_ckpt.as_slice()).unwrap();
+        for shards in [0, 1, 2, 4, 7] {
+            let collector = Collector::new();
+            let mut p = PipelineBuilder::new()
+                .table(&t)
+                .interval_secs(10)
+                .start_unix(1000)
+                .n_intervals(3)
+                .scheme(scheme)
+                .shards(shards)
+                .sink(collector.sink())
+                .resume(&ckpt)
+                .unwrap();
+            p.observe_chunk(&metas[split..]).unwrap();
+            let report = p.finish().unwrap();
+            let resumed = collector.take();
+            // The resumed run seals only the intervals after the split.
+            assert_eq!(report.intervals, 3);
+            assert_eq!(resumed.len(), 3, "shards={shards}");
+            for (s, g) in reference.iter().zip(&resumed) {
+                let (a, b) = (&s.outcome, &g.outcome);
+                assert_eq!(a.elephants, b.elephants, "resume shards={shards}");
+                assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+                assert_eq!(a.elephant_load.to_bits(), b.elephant_load.to_bits());
+                assert_eq!(a.total_load.to_bits(), b.total_load.to_bits());
             }
         }
     }

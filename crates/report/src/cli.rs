@@ -24,7 +24,8 @@ use eleph_core::{
 use eleph_bgp::{LiveBgpTable, UpdateBatch};
 use eleph_pipeline::{
     skip_offered, Checkpoint, Checkpointer, FaultedPcapSource, JsonlSink, PacketSource,
-    PcapSource, Pipeline, PipelineBuilder, PipelineReport, RotatingJsonlSink, TraceSource,
+    PcapSource, Pipeline, PipelineBuilder, PipelineReport, PooledPcapSource, RotatingJsonlSink,
+    TraceSource,
 };
 use eleph_trace::{
     generate_churn, ChurnConfig, ChurnScenario, FaultConfig, FaultInjector, FaultStats, RateTrace,
@@ -192,6 +193,17 @@ RUN OPTIONS (eleph run):
     --scheme S                 latent | single | hysteresis (default latent)
     --window N                 latent-heat window (default 12)
     --enter F / --exit F       hysteresis thresholds (default 1.2 / 0.6)
+    --shards N                 partition the online path (byte rows +
+                               classifier state) over N worker threads
+                               keyed by prefix id; output and checkpoints
+                               are bit-identical to serial for every N
+                               (default 0 = serial, inline)
+    --ingest-workers N         decode the pcap on a zero-copy async
+                               stage: a framer thread scans record spans
+                               ahead, N parser threads decode them from
+                               pooled buffers (default 0 = inline
+                               decode; pcap path only, incompatible with
+                               --fault-*)
     --out FILE                 JSONL destination (default stdout)
     --rotate-bytes N           rotate --out when it would exceed N bytes
                                (current file stays at FILE; older
@@ -357,6 +369,10 @@ pub struct RunOpts {
     pub enter: f64,
     /// Hysteresis exit multiplier.
     pub exit: f64,
+    /// Online-path shard workers (0 = serial, inline).
+    pub shards: usize,
+    /// Async pcap-ingest parser threads (0 = inline decode).
+    pub ingest_workers: usize,
     /// JSONL destination (`None` = stdout).
     pub out: Option<String>,
     /// Rotate the output file when it would exceed this many bytes.
@@ -397,6 +413,8 @@ impl Default for RunOpts {
             window: PAPER_LATENT_WINDOW,
             enter: 1.2,
             exit: 0.6,
+            shards: 0,
+            ingest_workers: 0,
             out: None,
             rotate_bytes: None,
             checkpoint_dir: None,
@@ -457,6 +475,14 @@ impl RunOpts {
                 }
                 "--enter" => o.enter = value(&mut i, args).parse().expect("--enter takes a float"),
                 "--exit" => o.exit = value(&mut i, args).parse().expect("--exit takes a float"),
+                "--shards" => {
+                    o.shards = value(&mut i, args).parse().expect("--shards takes a count")
+                }
+                "--ingest-workers" => {
+                    o.ingest_workers = value(&mut i, args)
+                        .parse()
+                        .expect("--ingest-workers takes a count")
+                }
                 "--out" => o.out = Some(value(&mut i, args)),
                 "--rotate-bytes" => {
                     o.rotate_bytes =
@@ -511,6 +537,15 @@ impl RunOpts {
         assert!(
             !o.wants_faults() || o.pcap.is_some(),
             "--fault-* flags apply to the pcap path only"
+        );
+        assert!(
+            o.ingest_workers == 0 || o.pcap.is_some(),
+            "--ingest-workers applies to the pcap path only"
+        );
+        assert!(
+            o.ingest_workers == 0 || !o.wants_faults(),
+            "--ingest-workers is incompatible with --fault-* (fault injection \
+             mutates records inline on the serial reader)"
         );
         o
     }
@@ -647,7 +682,8 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
     let mut builder = PipelineBuilder::new()
         .detector(opts.make_detector())
         .gamma(opts.gamma)
-        .scheme(opts.make_scheme());
+        .scheme(opts.make_scheme())
+        .shards(opts.shards);
     builder = match &live {
         Some(l) => builder.live(l).route_updates(updates),
         None => builder.table(&table),
@@ -665,6 +701,7 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
     };
 
     let mut fault_stats: Option<FaultStats> = None;
+    let started = std::time::Instant::now();
     let report = if let Some(path) = &opts.pcap {
         let interval_secs = opts.interval_secs.unwrap_or(300);
         // Without an explicit start, anchor the window at the first
@@ -698,6 +735,16 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
             let report = drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?;
             fault_stats = Some(source.fault_stats());
             report
+        } else if opts.ingest_workers > 0 {
+            // The async ingest stage decodes from a shared in-memory
+            // capture; delivery order, chunk boundaries and error
+            // positions are identical to the serial reader's, so
+            // checkpoints interoperate across worker counts.
+            drop(file);
+            let data = std::sync::Arc::new(std::fs::read(path)?);
+            let mut source =
+                PooledPcapSource::new(data, opts.ingest_workers).map_err(map_src)?;
+            drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?
         } else {
             let mut source = PcapSource::new(file).map_err(map_src)?;
             drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?
@@ -718,7 +765,8 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         drive(builder, &mut source, ckpt.as_ref(), checkpointer.as_mut())?
     };
 
-    eprintln!("{}", summary_json(&opts, &report, ckpt.is_some(), fault_stats));
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!("{}", summary_json(&opts, &report, ckpt.is_some(), fault_stats, elapsed));
     Ok(())
 }
 
@@ -758,20 +806,29 @@ fn drive<D: ThresholdDetector, S: PacketSource>(
 
 /// The end-of-run summary as one JSON line: interval/prefix counts,
 /// every packet-accounting counter, the conservation verdict, the
-/// far-future-streak high-water mark, and (when fault injection is on)
-/// the injector's counters — machine-checkable run health at a glance.
+/// far-future-streak high-water mark, wall-clock throughput, and (when
+/// fault injection is on) the injector's counters — machine-checkable
+/// run health at a glance.
 fn summary_json(
     opts: &RunOpts,
     report: &PipelineReport,
     resumed: bool,
     fault_stats: Option<FaultStats>,
+    elapsed_secs: f64,
 ) -> String {
     let s = &report.stats;
+    // Wall-clock ingest rates over the whole run (build + stream +
+    // seal): bytes are the *attributed* payload bytes, packets are all
+    // offered records. Sub-resolution runs clamp the divisor so the
+    // rates stay finite.
+    let secs = elapsed_secs.max(1e-9);
     let mut line = format!(
         "{{\"eleph_run\":{{\"intervals\":{},\"prefixes\":{},\"offered\":{},\
          \"attributed\":{},\"attributed_bytes\":{},\"unroutable\":{},\
          \"out_of_window\":{},\"malformed\":{},\"late\":{},\"conserved\":{},\
-         \"far_future_streak\":{},\"generation\":{},\"route_updates\":{},\"resumed\":{}",
+         \"far_future_streak\":{},\"generation\":{},\"route_updates\":{},\"resumed\":{},\
+         \"shards\":{},\"elapsed_secs\":{:.6},\"throughput_bytes_per_sec\":{:.1},\
+         \"packets_per_sec\":{:.1}",
         report.intervals,
         report.keys.len(),
         s.offered,
@@ -786,6 +843,10 @@ fn summary_json(
         report.generation,
         report.route_updates_applied,
         resumed,
+        opts.shards,
+        elapsed_secs,
+        s.attributed_bytes as f64 / secs,
+        s.offered as f64 / secs,
     );
     if let Some(dir) = &opts.checkpoint_dir {
         line.push_str(&format!(

@@ -11,8 +11,13 @@
 #   scripts/bench.sh --bench lpm     # one bench binary (any cargo bench args)
 #
 # Output: BENCH_<date>.json in the repository root, of the form
-#   { "date": ..., "git": ..., "results": [ {"group":...,"bench":...,"median_ns":...}, ... ] }
+#   { "date": ..., "git": ..., "machine": {...}, "results": [ {"group":...,"bench":...,"median_ns":...}, ... ] }
 # plus the usual human-readable bench lines on stdout.
+#
+# The "machine" header (CPU model, core count, kernel) is what makes
+# cross-commit comparison honest: numbers from different machines — or
+# multi-shard arms run on a single-core box — are not comparable, and
+# the header says so without relying on anyone's memory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,10 +33,19 @@ if [ ! -s "$tmp" ]; then
     exit 1
 fi
 
+# Machine context: enough to judge whether two BENCH files are
+# comparable (and whether parallel arms had cores to run on).
+cpu_model=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
+[ -n "${cpu_model:-}" ] || cpu_model=$(uname -m)
+cores=$(nproc 2>/dev/null || echo 1)
+kernel=$(uname -sr)
+
 {
     printf '{\n'
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "git": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "machine": {"cpu": "%s", "cores": %s, "kernel": "%s"},\n' \
+        "$cpu_model" "$cores" "$kernel"
     printf '  "results": [\n'
     sed 's/^/    /; $!s/$/,/' "$tmp"
     printf '  ]\n}\n'

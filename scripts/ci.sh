@@ -30,7 +30,13 @@
 #      schedule, the same capture is streamed twice with `--rib-updates`
 #      replaying that schedule mid-stream, and the two JSONL outputs
 #      must be byte-for-byte identical (update replay is a function of
-#      packet timestamps, never of IO chunking or wall-clock).
+#      packet timestamps, never of IO chunking or wall-clock);
+#   9. shard equivalence: the same capture streamed serially, at
+#      `--shards 1` and at `--shards 4` must produce byte-for-byte
+#      identical JSONL (sharding is a throughput knob, never a
+#      measurement change), and the sharded proptest suite is re-run
+#      single-threaded (`RUST_TEST_THREADS=1`) so worker/test-harness
+#      interleavings cannot mask an ordering bug.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -103,10 +109,32 @@ churn_args=(run --synth --flows 200 --intervals 30 --interval-secs 20 --prefixes
 "$eleph" "${churn_args[@]}" --out "$tmpdir/churn2.jsonl" 2> "$tmpdir/churn2.summary"
 cmp "$tmpdir/churn1.jsonl" "$tmpdir/churn2.jsonl" \
     || { echo "churn determinism: JSONL outputs diverge" >&2; exit 1; }
-cmp "$tmpdir/churn1.summary" "$tmpdir/churn2.summary" \
+# The summary's timing fields (elapsed_secs, throughput, pps) are
+# wall-clock measurements — legitimately different between runs; every
+# other field must reproduce exactly.
+strip_timing='s/"elapsed_secs":[0-9.]*,"throughput_bytes_per_sec":[0-9.]*,"packets_per_sec":[0-9.]*/TIMING/'
+diff <(sed -E "$strip_timing" "$tmpdir/churn1.summary") \
+     <(sed -E "$strip_timing" "$tmpdir/churn2.summary") \
     || { echo "churn determinism: summaries diverge" >&2; exit 1; }
+grep -q TIMING <(sed -E "$strip_timing" "$tmpdir/churn1.summary") \
+    || { echo "churn determinism: summary lost its timing fields" >&2; exit 1; }
 grep -q '"route_updates":0' "$tmpdir/churn1.summary" \
     && { echo "churn determinism: no update batch was applied mid-stream" >&2; exit 1; }
+
+echo "== shard equivalence: serial vs --shards 1 vs --shards 4, byte-for-byte JSONL =="
+shard_args=(run --synth --flows 500 --intervals 12 --interval-secs 20 --prefixes 2000)
+"$eleph" "${shard_args[@]}" --out "$tmpdir/shards0.jsonl" 2> /dev/null
+"$eleph" "${shard_args[@]}" --shards 1 --out "$tmpdir/shards1.jsonl" 2> "$tmpdir/shards1.summary"
+"$eleph" "${shard_args[@]}" --shards 4 --out "$tmpdir/shards4.jsonl" 2> "$tmpdir/shards4.summary"
+cmp "$tmpdir/shards0.jsonl" "$tmpdir/shards1.jsonl" \
+    || { echo "shard equivalence: --shards 1 diverges from serial" >&2; exit 1; }
+cmp "$tmpdir/shards0.jsonl" "$tmpdir/shards4.jsonl" \
+    || { echo "shard equivalence: --shards 4 diverges from serial" >&2; exit 1; }
+grep -q '"shards":4' "$tmpdir/shards4.summary" \
+    || { echo "shard equivalence: summary does not record the shard count" >&2; exit 1; }
+
+echo "== shard equivalence: proptests single-threaded (RUST_TEST_THREADS=1) =="
+RUST_TEST_THREADS=1 cargo test -q -p eleph-tests --test sharded_equivalence
 
 echo "== legacy shims byte-identical to eleph subcommands (fig1a, table1) =="
 cargo run -q --release -p eleph-report --bin eleph -- fig1a --scale 0.01 --seed 5 > "$tmpdir/eleph_fig1a"
