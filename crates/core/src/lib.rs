@@ -45,10 +45,14 @@ pub mod holding;
 mod online;
 pub mod prefix_analysis;
 mod shard;
+pub mod sketch;
 mod threshold;
 mod tracker;
 
 pub use classify::{classify, classify_many, ClassificationResult, ClassifyConfig, Scheme};
+pub use sketch::{
+    AdaptiveBloom, CountMinRow, ExactDense, SpaceSaving, StateBackend, StateBackendConfig,
+};
 pub use online::{ClassifierState, IntervalOutcome, OnlineClassifier};
 pub use shard::{
     merge_observations, merge_states, partition_state, ClassifierPart, PartObservation,

@@ -8,7 +8,7 @@
 //! open interval's byte row, and the packet accounting — so a resumed
 //! pipeline continues **bit-identically** to the run that wrote it.
 //!
-//! # Format (version 2)
+//! # Format (versions 2 and 3)
 //!
 //! ```text
 //! magic    8 B  b"ELPHCKPT"
@@ -26,6 +26,15 @@
 //! grafted onto a different measurement definition — including a live
 //! routing table at a different update generation than the one the
 //! snapshot was taken against (version 2 added the generation field).
+//!
+//! Version 3 extends version 2 for pipelines running a sketch state
+//! backend ([`eleph_core::sketch`]): the version-2 payload (whose dense
+//! row is then empty — a sketch has no exact row) is followed by the
+//! backend kind string and its length-prefixed, internally-versioned
+//! sketch payload. Exact-backend checkpoints keep writing version 2
+//! byte-for-byte, so `--state exact` images remain identical to every
+//! earlier release; a reader accepts both versions and a resume
+//! cross-checks the recorded backend kind against the builder's.
 //!
 //! # Atomicity & exactly-once emission
 //!
@@ -60,6 +69,9 @@ use crate::source::PacketSource;
 
 const MAGIC: [u8; 8] = *b"ELPHCKPT";
 const VERSION: u32 = 2;
+/// Format written when the pipeline runs a sketch state backend: the
+/// version-2 payload plus the backend kind and its sketch payload.
+const VERSION_SKETCH: u32 = 3;
 
 /// Why a checkpoint could not be read, written, or applied.
 #[derive(Debug)]
@@ -168,9 +180,14 @@ pub struct Checkpoint {
     pub(crate) stats: PipelineStats,
     /// `(first-seen route, its prefix)` per key, ascending by key id.
     pub(crate) keys: Vec<(RouteId, Prefix)>,
-    /// The open interval's nonzero byte counts, ascending by key id.
+    /// The open interval's nonzero byte counts, ascending by key id
+    /// (exact backend only; empty when `sketch` is present).
     pub(crate) row: Vec<(KeyId, u64)>,
     pub(crate) state: ClassifierState,
+    /// Sketch-backend open state: `(backend kind, serialized sketch)`.
+    /// `None` for the exact backend — and its presence alone is what
+    /// selects format version 3 on disk.
+    pub(crate) sketch: Option<(String, Vec<u8>)>,
 }
 
 impl Checkpoint {
@@ -214,9 +231,10 @@ impl Checkpoint {
     /// The complete on-disk image.
     pub(crate) fn to_bytes(&self) -> Vec<u8> {
         let payload = self.encode();
+        let version = if self.sketch.is_none() { VERSION } else { VERSION_SKETCH };
         let mut bytes = Vec::with_capacity(24 + payload.len());
         bytes.extend_from_slice(&MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&version.to_le_bytes());
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
@@ -231,9 +249,9 @@ impl Checkpoint {
             return Err(CheckpointError::Format("bad magic".to_string()));
         }
         let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if version != VERSION && version != VERSION_SKETCH {
             return Err(CheckpointError::Format(format!(
-                "unsupported version {version} (this build reads {VERSION})"
+                "unsupported version {version} (this build reads {VERSION} and {VERSION_SKETCH})"
             )));
         }
         let len = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes"));
@@ -257,7 +275,7 @@ impl Checkpoint {
         if actual != expected {
             return Err(CheckpointError::Checksum { expected, actual });
         }
-        Self::decode(&payload)
+        Self::decode(&payload, version)
     }
 
     /// Read and verify a checkpoint file.
@@ -339,10 +357,17 @@ impl Checkpoint {
         for &key in &st.members {
             w.extend_from_slice(&key.to_le_bytes());
         }
+        // Version-3 tail: sketch-backend kind + payload. Absent (and the
+        // image stays a byte-identical version 2) for the exact backend.
+        if let Some((kind, sketch)) = &self.sketch {
+            put_str(&mut w, kind);
+            w.extend_from_slice(&(sketch.len() as u64).to_le_bytes());
+            w.extend_from_slice(sketch);
+        }
         w
     }
 
-    fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+    fn decode(payload: &[u8], version: u32) -> Result<Self, CheckpointError> {
         let mut r = Cursor { data: payload, at: 0 };
         let interval_secs = r.u64()?;
         let start_unix = r.u64()?;
@@ -414,6 +439,19 @@ impl Checkpoint {
         for _ in 0..n_members {
             members.push(r.u32()?);
         }
+        let sketch = if version == VERSION_SKETCH {
+            let kind = r.string()?;
+            let n_sketch = r.count(1, "sketch payload")?;
+            let bytes = r.take(n_sketch)?.to_vec();
+            if !row.is_empty() {
+                return Err(CheckpointError::Format(
+                    "sketch checkpoint carries a dense row".to_string(),
+                ));
+            }
+            Some((kind, bytes))
+        } else {
+            None
+        };
         r.end()?;
         if interval as u64 != open {
             return Err(CheckpointError::Format(format!(
@@ -444,6 +482,7 @@ impl Checkpoint {
                 history,
                 members,
             },
+            sketch,
         })
     }
 }
@@ -714,7 +753,16 @@ mod tests {
                 ],
                 members: vec![],
             },
+            sketch: None,
         }
+    }
+
+    /// A sketch-backend snapshot: empty dense row, version-3 tail.
+    fn sample_sketch() -> Checkpoint {
+        let mut ckpt = sample();
+        ckpt.row = Vec::new();
+        ckpt.sketch = Some(("spacesaving".to_string(), vec![1, 0, 0, 0, 7, 7, 7]));
+        ckpt
     }
 
     #[test]
@@ -730,6 +778,61 @@ mod tests {
         assert_eq!(decoded.keys, original.keys);
         assert_eq!(decoded.row, original.row);
         assert_eq!(decoded.state, original.state);
+        assert_eq!(decoded.sketch, None);
+        assert_eq!(bytes[8..12], VERSION.to_le_bytes(), "exact images stay version 2");
+    }
+
+    #[test]
+    fn sketch_round_trip_is_version_3() {
+        let original = sample_sketch();
+        let bytes = original.to_bytes();
+        assert_eq!(bytes[8..12], VERSION_SKETCH.to_le_bytes());
+        let decoded = Checkpoint::read_from(&mut &bytes[..]).expect("round trip");
+        assert_eq!(decoded.state, original.state);
+        assert_eq!(decoded.row, Vec::new());
+        assert_eq!(decoded.sketch, original.sketch);
+    }
+
+    #[test]
+    fn sketch_tail_mismatches_are_rejected() {
+        // A v3 header over a tail-less v2 payload must not decode.
+        let payload = sample().encode();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION_SKETCH.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(Checkpoint::read_from(&mut &bytes[..]).is_err());
+        // And a v2 header over a payload carrying a tail leaves trailing
+        // bytes — also rejected.
+        let payload = sample_sketch().encode();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Checkpoint::read_from(&mut &bytes[..]),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn sketch_image_rejects_flips_and_truncations() {
+        let bytes = sample_sketch().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            assert!(Checkpoint::read_from(&mut &bad[..]).is_err(), "flip at byte {i} accepted");
+        }
+        for keep in 0..bytes.len() {
+            assert!(
+                Checkpoint::read_from(&mut &bytes[..keep]).is_err(),
+                "truncation to {keep} bytes accepted"
+            );
+        }
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub use checkpoint::{
 pub use pipeline::{
     Pipeline, PipelineBuilder, PipelineError, PipelineReport, PipelineStats, Result,
 };
+// The state-backend configuration travels with the builder everywhere
+// the pipeline does; re-exported so callers need not depend on
+// eleph-core directly to select a sketch tier.
+pub use eleph_core::StateBackendConfig;
 pub use sink::{
     CallbackSink, CollectedInterval, Collector, CollectorSink, JsonlSink, RotatingJsonlSink,
     SealedInterval, Sink,

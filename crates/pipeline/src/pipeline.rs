@@ -5,8 +5,9 @@ use std::fmt;
 
 use eleph_bgp::{BgpTable, FrozenBgpTable, LiveBgpTable, RouteId, TableView, UpdateBatch};
 use eleph_core::{
-    ClassifierState, ConstantLoadDetector, IntervalOutcome, OnlineClassifier, Scheme,
-    ThresholdDetector, PAPER_BETA, PAPER_GAMMA, PAPER_LATENT_WINDOW,
+    ClassifierState, ConstantLoadDetector, ExactDense, IntervalOutcome, OnlineClassifier, Scheme,
+    StateBackend, StateBackendConfig, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
+    PAPER_LATENT_WINDOW,
 };
 use eleph_flow::{attribute_metas, FrozenTableRef, KeyAllocator, KeyId};
 use eleph_net::Prefix;
@@ -156,6 +157,17 @@ pub struct PipelineReport {
     /// Scheduled route-update batches applied over the whole run
     /// (counting batches replayed before a resume).
     pub route_updates_applied: u64,
+    /// Distinct keys attributed over the run (`keys.len()`), reported
+    /// separately so memory claims are reproducible from a summary
+    /// alone.
+    pub distinct_keys: usize,
+    /// Resident footprint of the open-interval state backend in bytes:
+    /// the dense-row footprint for the exact backend, the configured
+    /// fixed budget for sketch backends.
+    pub state_bytes: usize,
+    /// Which state backend sealed the intervals (see
+    /// [`eleph_core::StateBackendConfig::kind`]).
+    pub state_backend: &'static str,
 }
 
 /// The routing table a pipeline attributes against: either a frozen
@@ -229,6 +241,7 @@ pub struct PipelineBuilder<'t, D> {
     gamma: f64,
     scheme: Scheme,
     shards: usize,
+    state: StateBackendConfig,
     sinks: Vec<Box<dyn Sink>>,
     crash: Option<CrashSwitch>,
 }
@@ -247,6 +260,7 @@ impl Default for PipelineBuilder<'_, ConstantLoadDetector> {
                 window: PAPER_LATENT_WINDOW,
             },
             shards: 0,
+            state: StateBackendConfig::Exact,
             sinks: Vec::new(),
             crash: None,
         }
@@ -342,6 +356,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             gamma: self.gamma,
             scheme: self.scheme,
             shards: self.shards,
+            state: self.state,
             sinks: self.sinks,
             crash: self.crash,
         }
@@ -368,6 +383,22 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
     /// see the `shard` module docs for why.
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Seal intervals from this state backend
+    /// ([`StateBackendConfig::Exact`], the default, keeps the dense byte
+    /// row and is bit-identical to every earlier release; the sketch
+    /// backends trade bounded memory for approximate snapshots — see
+    /// [`eleph_core::sketch`]). Detection, smoothing and scheme state
+    /// always run exactly on whatever snapshot the backend seals.
+    ///
+    /// Sketch backends run serially: combining one with
+    /// [`PipelineBuilder::shards`] panics at build time (their whole
+    /// point is that state no longer scales with keys, so there is no
+    /// row to partition).
+    pub fn state_backend(mut self, config: StateBackendConfig) -> Self {
+        self.state = config;
         self
     }
 
@@ -404,16 +435,29 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
             eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
         let n_routes = table.id_space();
         let secs = self.interval_secs as f64;
-        let engine = if self.shards == 0 {
-            Engine::serial(OnlineClassifier::new(self.detector, self.gamma, self.scheme))
-        } else {
-            Engine::Sharded(ShardEngine::new(
+        let engine = match self.state.build() {
+            Some(backend) => {
+                assert_eq!(
+                    self.shards, 0,
+                    "sketch state backends run serially (--state {} is incompatible with shards)",
+                    self.state.kind()
+                );
+                Engine::Sketch {
+                    classifier: OnlineClassifier::new(self.detector, self.gamma, self.scheme),
+                    backend,
+                    snapshot: Vec::new(),
+                }
+            }
+            None if self.shards == 0 => {
+                Engine::serial(OnlineClassifier::new(self.detector, self.gamma, self.scheme))
+            }
+            None => Engine::Sharded(ShardEngine::new(
                 self.detector,
                 self.gamma,
                 self.scheme,
                 self.shards,
                 secs,
-            ))
+            )),
         };
         Pipeline {
             table,
@@ -495,6 +539,16 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
         if name != c.detector {
             return Err(mismatch("detector", name, c.detector.clone()));
         }
+        // Version-2 checkpoints have no sketch tail: they are exact by
+        // construction.
+        let ckpt_kind = ckpt.sketch.as_ref().map_or("exact", |(kind, _)| kind.as_str());
+        if self.state.kind() != ckpt_kind {
+            return Err(mismatch(
+                "state backend",
+                self.state.kind().to_string(),
+                ckpt_kind.to_string(),
+            ));
+        }
         let table = self.table.expect("PipelineBuilder needs a table (.table, .frozen or .live)");
         let update_ns = update_schedule(&table, &self.updates);
         // A live table must be replayed to the checkpoint's generation
@@ -559,39 +613,52 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
                 )));
             }
         }
-        // Rebuild (and validate) the open interval's dense byte row.
-        let n_keys = ckpt.keys.len();
-        let mut row = vec![0u64; n_keys];
-        let mut touched = Vec::with_capacity(ckpt.row.len());
-        for &(key, bytes) in &ckpt.row {
-            let slot = row
-                .get_mut(key as usize)
-                .ok_or_else(|| CheckpointError::State(format!("row key {key} has no key entry")))?;
-            if *slot != 0 || bytes == 0 {
-                return Err(CheckpointError::State(format!("row key {key} duplicated or zero")));
-            }
-            *slot = bytes;
-            touched.push(key);
-        }
         let secs = self.interval_secs as f64;
-        // Checkpoints are shard-count-independent: the serial state
-        // either restores directly or partitions onto fresh workers.
-        let engine = if self.shards == 0 {
-            let classifier = OnlineClassifier::from_state(
-                self.detector,
-                self.gamma,
-                self.scheme,
-                ckpt.state.clone(),
-            )
-            .map_err(CheckpointError::State)?;
-            Engine::Serial {
-                classifier,
-                row,
-                touched,
-                snapshot: Vec::new(),
+        // Exact checkpoints are shard-count-independent: the serial
+        // state either restores directly or partitions onto fresh
+        // workers. Sketch checkpoints restore onto the one backend kind
+        // (and geometry) they were exported from.
+        let engine = match self.state.build() {
+            Some(mut backend) => {
+                assert_eq!(
+                    self.shards, 0,
+                    "sketch state backends run serially (--state {} is incompatible with shards)",
+                    self.state.kind()
+                );
+                let (_, payload) = ckpt.sketch.as_ref().expect("kind check passed for a sketch");
+                backend.restore_sketch(payload).map_err(CheckpointError::State)?;
+                let classifier = OnlineClassifier::from_state(
+                    self.detector,
+                    self.gamma,
+                    self.scheme,
+                    ckpt.state.clone(),
+                )
+                .map_err(CheckpointError::State)?;
+                Engine::Sketch {
+                    classifier,
+                    backend,
+                    snapshot: Vec::new(),
+                }
             }
-        } else {
-            ShardEngine::resume(
+            None if self.shards == 0 => {
+                // Rebuild (and validate) the open interval's dense byte
+                // row.
+                let state = ExactDense::from_checkpoint_row(ckpt.keys.len(), &ckpt.row)
+                    .map_err(CheckpointError::State)?;
+                let classifier = OnlineClassifier::from_state(
+                    self.detector,
+                    self.gamma,
+                    self.scheme,
+                    ckpt.state.clone(),
+                )
+                .map_err(CheckpointError::State)?;
+                Engine::Serial {
+                    classifier,
+                    state,
+                    snapshot: Vec::new(),
+                }
+            }
+            None => ShardEngine::resume(
                 self.detector,
                 self.gamma,
                 self.scheme,
@@ -601,7 +668,7 @@ impl<'t, D: ThresholdDetector> PipelineBuilder<'t, D> {
                 &ckpt.row,
             )
             .map(Engine::Sharded)
-            .map_err(CheckpointError::State)?
+            .map_err(CheckpointError::State)?,
         };
         let (start_ns, interval_ns) =
             eleph_flow::window_bounds_ns(self.interval_secs, self.start_unix);
@@ -673,13 +740,20 @@ fn update_schedule(table: &TableHandle<'_>, updates: &[UpdateBatch]) -> Vec<u64>
 enum Engine<D: ThresholdDetector> {
     Serial {
         classifier: OnlineClassifier<D>,
-        /// Open interval: bytes per key, dense, indexed by [`KeyId`].
-        row: Vec<u64>,
-        /// Keys with nonzero bytes in the open interval (unsorted until
-        /// sealing).
-        touched: Vec<KeyId>,
+        /// The exact open-interval byte row (the concrete type, not a
+        /// trait object: the default path stays statically dispatched
+        /// and byte-identical to every earlier release).
+        state: ExactDense,
         /// Seal-path scratch: the sparse snapshot handed to the
         /// classifier.
+        snapshot: Vec<(KeyId, f32)>,
+    },
+    /// A sublinear-memory sketch accumulates the open interval; the
+    /// classifier still observes a sealed snapshot exactly as in the
+    /// serial engine — detection never knows the row was approximate.
+    Sketch {
+        classifier: OnlineClassifier<D>,
+        backend: Box<dyn StateBackend>,
         snapshot: Vec<(KeyId, f32)>,
     },
     Sharded(ShardEngine<D>),
@@ -689,8 +763,7 @@ impl<D: ThresholdDetector> Engine<D> {
     fn serial(classifier: OnlineClassifier<D>) -> Self {
         Engine::Serial {
             classifier,
-            row: Vec::new(),
-            touched: Vec::new(),
+            state: ExactDense::new(),
             snapshot: Vec::new(),
         }
     }
@@ -699,19 +772,8 @@ impl<D: ThresholdDetector> Engine<D> {
     #[inline]
     fn bin(&mut self, key: KeyId, bytes: u64) {
         match self {
-            Engine::Serial { row, touched, .. } => {
-                let k = key as usize;
-                if k >= row.len() {
-                    row.resize(k + 1, 0);
-                }
-                // First nonzero bytes for this key this interval:
-                // remember it for the seal scan (zero-length packets are
-                // attributed but, like the batch path, leave no entry).
-                if row[k] == 0 && bytes > 0 {
-                    touched.push(key);
-                }
-                row[k] += bytes;
-            }
+            Engine::Serial { state, .. } => state.record(key, bytes),
+            Engine::Sketch { backend, .. } => backend.record(key, bytes),
             Engine::Sharded(engine) => engine.bin(key, bytes),
         }
     }
@@ -723,21 +785,18 @@ impl<D: ThresholdDetector> Engine<D> {
         match self {
             Engine::Serial {
                 classifier,
-                row,
-                touched,
+                state,
                 snapshot,
             } => {
-                touched.sort_unstable();
-                snapshot.clear();
-                for &key in touched.iter() {
-                    let bytes = row[key as usize];
-                    row[key as usize] = 0;
-                    debug_assert!(bytes > 0, "touched key with zero bytes");
-                    // Identical expression to the batch `matrix_from_rows`,
-                    // so the f32 rate is bit-identical.
-                    snapshot.push((key, (bytes as f64 * 8.0 / secs) as f32));
-                }
-                touched.clear();
+                state.seal_into(secs, snapshot);
+                classifier.observe(snapshot)
+            }
+            Engine::Sketch {
+                classifier,
+                backend,
+                snapshot,
+            } => {
+                backend.seal_into(secs, snapshot);
                 classifier.observe(snapshot)
             }
             Engine::Sharded(engine) => engine.seal_interval(),
@@ -747,54 +806,89 @@ impl<D: ThresholdDetector> Engine<D> {
     /// Whether the open interval holds any attributed traffic.
     fn has_open_traffic(&self) -> bool {
         match self {
-            Engine::Serial { touched, .. } => !touched.is_empty(),
+            Engine::Serial { state, .. } => state.has_traffic(),
+            Engine::Sketch { backend, .. } => backend.has_traffic(),
             Engine::Sharded(engine) => engine.has_open_traffic(),
         }
     }
 
     /// The recovery frontier: the open row as sorted `(key, bytes)`
-    /// pairs plus the (serial-form) classifier state.
+    /// pairs plus the (serial-form) classifier state. Sketch engines
+    /// have no exact row (their open state travels as the checkpoint's
+    /// sketch payload instead — see [`Engine::sketch_payload`]).
     fn frontier(&self) -> (Vec<(KeyId, u64)>, ClassifierState) {
         match self {
-            Engine::Serial {
-                classifier,
-                row,
-                touched,
-                ..
-            } => {
-                let mut pairs: Vec<(KeyId, u64)> =
-                    touched.iter().map(|&key| (key, row[key as usize])).collect();
-                pairs.sort_unstable();
-                (pairs, classifier.export_state())
+            Engine::Serial { classifier, state, .. } => {
+                (state.open_row(), classifier.export_state())
             }
+            Engine::Sketch { classifier, .. } => (Vec::new(), classifier.export_state()),
             Engine::Sharded(engine) => engine.frontier(),
+        }
+    }
+
+    /// The checkpoint's version-3 tail: `(backend kind, serialized
+    /// sketch state)`; `None` on the exact paths (their images stay
+    /// format version 2).
+    fn sketch_payload(&self) -> Option<(String, Vec<u8>)> {
+        match self {
+            Engine::Sketch { backend, .. } => backend
+                .export_sketch()
+                .map(|payload| (backend.kind().to_string(), payload)),
+            _ => None,
+        }
+    }
+
+    /// Resident footprint of the open-interval state in bytes.
+    /// `n_keys` sizes the sharded engine's aggregate (its workers hold
+    /// one dense row slot per key between them).
+    fn state_bytes(&self, n_keys: usize) -> usize {
+        match self {
+            Engine::Serial { state, .. } => state.state_bytes(),
+            Engine::Sketch { backend, .. } => backend.state_bytes(),
+            Engine::Sharded(_) => n_keys * std::mem::size_of::<u64>(),
+        }
+    }
+
+    /// Which state backend seals the intervals.
+    fn state_kind(&self) -> &'static str {
+        match self {
+            Engine::Serial { .. } | Engine::Sharded(_) => "exact",
+            Engine::Sketch { backend, .. } => backend.kind(),
         }
     }
 
     fn gamma(&self) -> f64 {
         match self {
-            Engine::Serial { classifier, .. } => classifier.gamma(),
+            Engine::Serial { classifier, .. } | Engine::Sketch { classifier, .. } => {
+                classifier.gamma()
+            }
             Engine::Sharded(engine) => engine.gamma(),
         }
     }
 
     fn scheme(&self) -> Scheme {
         match self {
-            Engine::Serial { classifier, .. } => classifier.scheme(),
+            Engine::Serial { classifier, .. } | Engine::Sketch { classifier, .. } => {
+                classifier.scheme()
+            }
             Engine::Sharded(engine) => engine.scheme(),
         }
     }
 
     fn detector_name(&self) -> String {
         match self {
-            Engine::Serial { classifier, .. } => classifier.detector_name(),
+            Engine::Serial { classifier, .. } | Engine::Sketch { classifier, .. } => {
+                classifier.detector_name()
+            }
             Engine::Sharded(engine) => engine.detector_name(),
         }
     }
 
     fn tracked_keys(&self) -> usize {
         match self {
-            Engine::Serial { classifier, .. } => classifier.tracked_keys(),
+            Engine::Serial { classifier, .. } | Engine::Sketch { classifier, .. } => {
+                classifier.tracked_keys()
+            }
             Engine::Sharded(engine) => engine.tracked_keys(),
         }
     }
@@ -802,7 +896,7 @@ impl<D: ThresholdDetector> Engine<D> {
     /// Number of shard workers (0 = serial).
     fn n_shards(&self) -> usize {
         match self {
-            Engine::Serial { .. } => 0,
+            Engine::Serial { .. } | Engine::Sketch { .. } => 0,
             Engine::Sharded(engine) => engine.n_shards(),
         }
     }
@@ -1155,6 +1249,7 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
                 .collect(),
             row,
             state,
+            sketch: self.engine.sketch_payload(),
         }
     }
 
@@ -1183,10 +1278,13 @@ impl<D: ThresholdDetector> Pipeline<'_, D> {
         Ok(PipelineReport {
             stats: self.stats,
             intervals: self.open,
-            keys: self.keys,
             far_future_streak: self.far_future_streak,
             generation: self.table.generation(),
             route_updates_applied: self.next_update as u64,
+            distinct_keys: self.keys.len(),
+            state_bytes: self.engine.state_bytes(self.keys.len()),
+            state_backend: self.engine.state_kind(),
+            keys: self.keys,
         })
     }
 

@@ -18,8 +18,8 @@
 use std::io;
 
 use eleph_core::{
-    AestDetector, ConstantLoadDetector, Scheme, ThresholdDetector, PAPER_BETA, PAPER_GAMMA,
-    PAPER_LATENT_WINDOW,
+    AestDetector, ConstantLoadDetector, Scheme, StateBackendConfig, ThresholdDetector,
+    PAPER_BETA, PAPER_GAMMA, PAPER_LATENT_WINDOW,
 };
 use eleph_bgp::{LiveBgpTable, UpdateBatch};
 use eleph_pipeline::{
@@ -158,6 +158,11 @@ SUBCOMMANDS:
     churn                      generate a deterministic route-update
                                stream (announce/withdraw storms, flap
                                damping) for `run --rib-updates`
+    sketch                     run exact and sketch state backends side
+                               by side on the same stream and report
+                               recall/precision/byte-coverage vs the
+                               exact oracle, plus the memory-vs-accuracy
+                               frontier
     help                       this text
 
 EXPERIMENT OPTIONS:
@@ -198,6 +203,13 @@ RUN OPTIONS (eleph run):
                                keyed by prefix id; output and checkpoints
                                are bit-identical to serial for every N
                                (default 0 = serial, inline)
+    --state B                  state backend sealing each interval:
+                               exact (default; the dense byte row,
+                               bit-identical to every earlier release)
+                               or a fixed-budget sketch — spacesaving |
+                               cmrow | bloom (deterministic, approximate;
+                               incompatible with --shards)
+    --state-budget BYTES       sketch memory budget (default 1048576)
     --ingest-workers N         decode the pcap on a zero-copy async
                                stage: a framer thread scans record spans
                                ahead, N parser threads decode them from
@@ -243,6 +255,14 @@ CHURN OPTIONS (eleph churn):
     --flap-damped              suppress the final re-announce for the
                                8x-period damping window
 
+SKETCH OPTIONS (eleph sketch):
+    --seed N                   scenario seed (default 42)
+    --scale F                  west-scenario workload scale (default 0.05)
+    --intervals N              intervals streamed per run (default 18)
+    --budget BYTES             sketch budget for the accuracy grid
+                               (default 1048576; the frontier sweeps
+                               65536..4194304 regardless)
+
 The end of a run prints one JSON summary line on stderr: intervals
 sealed, prefix count, every packet-accounting counter (offered,
 attributed, attributed_bytes, unroutable, out_of_window, malformed,
@@ -287,6 +307,7 @@ pub fn eleph_main() -> io::Result<()> {
         }
         "run" => run_streaming(rest),
         "churn" => run_churn(rest),
+        "sketch" => crate::sketch::run_sketch(rest),
         other => panic!("unknown subcommand {other}; try `eleph help`"),
     }
 }
@@ -371,6 +392,11 @@ pub struct RunOpts {
     pub exit: f64,
     /// Online-path shard workers (0 = serial, inline).
     pub shards: usize,
+    /// State backend sealing each interval: "exact", "spacesaving",
+    /// "cmrow" or "bloom".
+    pub state: String,
+    /// Sketch memory budget in bytes (non-exact backends).
+    pub state_budget: u64,
     /// Async pcap-ingest parser threads (0 = inline decode).
     pub ingest_workers: usize,
     /// JSONL destination (`None` = stdout).
@@ -414,6 +440,8 @@ impl Default for RunOpts {
             enter: 1.2,
             exit: 0.6,
             shards: 0,
+            state: "exact".to_string(),
+            state_budget: 1_048_576,
             ingest_workers: 0,
             out: None,
             rotate_bytes: None,
@@ -477,6 +505,11 @@ impl RunOpts {
                 "--exit" => o.exit = value(&mut i, args).parse().expect("--exit takes a float"),
                 "--shards" => {
                     o.shards = value(&mut i, args).parse().expect("--shards takes a count")
+                }
+                "--state" => o.state = value(&mut i, args),
+                "--state-budget" => {
+                    o.state_budget =
+                        value(&mut i, args).parse().expect("--state-budget takes bytes")
                 }
                 "--ingest-workers" => {
                     o.ingest_workers = value(&mut i, args)
@@ -547,7 +580,21 @@ impl RunOpts {
             "--ingest-workers is incompatible with --fault-* (fault injection \
              mutates records inline on the serial reader)"
         );
+        assert!(
+            o.state == "exact" || o.shards == 0,
+            "--state {} is incompatible with --shards (sketch backends run serially; \
+             their state does not scale with keys, so there is no row to partition)",
+            o.state
+        );
+        // Fail on an unknown backend name at parse time, not mid-run.
+        let _ = o.make_state();
         o
+    }
+
+    /// The configured state backend.
+    pub fn make_state(&self) -> StateBackendConfig {
+        StateBackendConfig::parse(&self.state, self.state_budget as usize)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether any fault-injection probability is non-zero.
@@ -683,7 +730,8 @@ pub fn run_streaming(args: &[String]) -> io::Result<()> {
         .detector(opts.make_detector())
         .gamma(opts.gamma)
         .scheme(opts.make_scheme())
-        .shards(opts.shards);
+        .shards(opts.shards)
+        .state_backend(opts.make_state());
     builder = match &live {
         Some(l) => builder.live(l).route_updates(updates),
         None => builder.table(&table),
@@ -819,15 +867,21 @@ fn summary_json(
     let s = &report.stats;
     // Wall-clock ingest rates over the whole run (build + stream +
     // seal): bytes are the *attributed* payload bytes, packets are all
-    // offered records. Sub-resolution runs clamp the divisor so the
-    // rates stay finite.
-    let secs = elapsed_secs.max(1e-9);
+    // offered records. A capture so tiny that the elapsed time rounds
+    // to zero (or a non-finite clock reading) reports rates of 0 — the
+    // summary must stay strict JSON, and `inf`/`NaN` are not JSON.
+    let elapsed = if elapsed_secs.is_finite() && elapsed_secs > 0.0 { elapsed_secs } else { 0.0 };
+    let rate = |count: f64| {
+        let r = if elapsed > 0.0 { count / elapsed } else { 0.0 };
+        if r.is_finite() { r } else { 0.0 }
+    };
     let mut line = format!(
         "{{\"eleph_run\":{{\"intervals\":{},\"prefixes\":{},\"offered\":{},\
          \"attributed\":{},\"attributed_bytes\":{},\"unroutable\":{},\
          \"out_of_window\":{},\"malformed\":{},\"late\":{},\"conserved\":{},\
          \"far_future_streak\":{},\"generation\":{},\"route_updates\":{},\"resumed\":{},\
-         \"shards\":{},\"elapsed_secs\":{:.6},\"throughput_bytes_per_sec\":{:.1},\
+         \"shards\":{},\"state\":\"{}\",\"distinct_keys\":{},\"state_bytes\":{},\
+         \"elapsed_secs\":{:.6},\"throughput_bytes_per_sec\":{:.1},\
          \"packets_per_sec\":{:.1}",
         report.intervals,
         report.keys.len(),
@@ -844,9 +898,12 @@ fn summary_json(
         report.route_updates_applied,
         resumed,
         opts.shards,
-        elapsed_secs,
-        s.attributed_bytes as f64 / secs,
-        s.offered as f64 / secs,
+        report.state_backend,
+        report.distinct_keys,
+        report.state_bytes,
+        elapsed,
+        rate(s.attributed_bytes as f64),
+        rate(s.offered as f64),
     );
     if let Some(dir) = &opts.checkpoint_dir {
         line.push_str(&format!(
@@ -1044,5 +1101,200 @@ fn first_packet_unix(path: &str) -> io::Result<u64> {
     {
         Some(head) => Ok(head.ts_ns / 1_000_000_000),
         None => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal strict JSON validator (objects, arrays, strings,
+    /// numbers, booleans, null) — `inf`, `NaN`, trailing garbage and
+    /// malformed literals all fail. Hand-rolled because the summary's
+    /// whole bug class was "not actually JSON", so the test must not
+    /// share the emitter's assumptions.
+    fn parse_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut at = 0usize;
+        fn skip_ws(b: &[u8], at: &mut usize) {
+            while *at < b.len() && (b[*at] as char).is_ascii_whitespace() {
+                *at += 1;
+            }
+        }
+        fn value(b: &[u8], at: &mut usize) -> Result<(), String> {
+            skip_ws(b, at);
+            match b.get(*at) {
+                Some(b'{') => {
+                    *at += 1;
+                    skip_ws(b, at);
+                    if b.get(*at) == Some(&b'}') {
+                        *at += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        skip_ws(b, at);
+                        string(b, at)?;
+                        skip_ws(b, at);
+                        if b.get(*at) != Some(&b':') {
+                            return Err(format!("expected ':' at {at}"));
+                        }
+                        *at += 1;
+                        value(b, at)?;
+                        skip_ws(b, at);
+                        match b.get(*at) {
+                            Some(b',') => *at += 1,
+                            Some(b'}') => {
+                                *at += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {at}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *at += 1;
+                    skip_ws(b, at);
+                    if b.get(*at) == Some(&b']') {
+                        *at += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, at)?;
+                        skip_ws(b, at);
+                        match b.get(*at) {
+                            Some(b',') => *at += 1,
+                            Some(b']') => {
+                                *at += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {at}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, at),
+                Some(b't') => literal(b, at, "true"),
+                Some(b'f') => literal(b, at, "false"),
+                Some(b'n') => literal(b, at, "null"),
+                Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, at),
+                other => Err(format!("unexpected {other:?} at {at}")),
+            }
+        }
+        fn string(b: &[u8], at: &mut usize) -> Result<(), String> {
+            if b.get(*at) != Some(&b'"') {
+                return Err(format!("expected string at {at}"));
+            }
+            *at += 1;
+            while let Some(&c) = b.get(*at) {
+                match c {
+                    b'"' => {
+                        *at += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *at += 2,
+                    _ => *at += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        fn literal(b: &[u8], at: &mut usize, word: &str) -> Result<(), String> {
+            if b[*at..].starts_with(word.as_bytes()) {
+                *at += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {at}"))
+            }
+        }
+        fn number(b: &[u8], at: &mut usize) -> Result<(), String> {
+            let start = *at;
+            if b.get(*at) == Some(&b'-') {
+                *at += 1;
+            }
+            let digits = |b: &[u8], at: &mut usize| {
+                let s = *at;
+                while at.checked_add(0).is_some()
+                    && *at < b.len()
+                    && b[*at].is_ascii_digit()
+                {
+                    *at += 1;
+                }
+                *at > s
+            };
+            if !digits(b, at) {
+                return Err(format!("bad number at {start} (no integer digits)"));
+            }
+            if b.get(*at) == Some(&b'.') {
+                *at += 1;
+                if !digits(b, at) {
+                    return Err(format!("bad number at {start} (no fraction digits)"));
+                }
+            }
+            if matches!(b.get(*at), Some(b'e') | Some(b'E')) {
+                *at += 1;
+                if matches!(b.get(*at), Some(b'+') | Some(b'-')) {
+                    *at += 1;
+                }
+                if !digits(b, at) {
+                    return Err(format!("bad number at {start} (no exponent digits)"));
+                }
+            }
+            Ok(())
+        }
+        value(b, &mut at)?;
+        skip_ws(b, &mut at);
+        if at != b.len() {
+            return Err(format!("trailing garbage at {at}"));
+        }
+        Ok(())
+    }
+
+    fn report() -> PipelineReport {
+        PipelineReport {
+            stats: eleph_pipeline::PipelineStats {
+                offered: 10,
+                attributed: 9,
+                attributed_bytes: 9_000,
+                unroutable: 1,
+                ..Default::default()
+            },
+            intervals: 2,
+            keys: Vec::new(),
+            far_future_streak: 0,
+            generation: 0,
+            route_updates_applied: 0,
+            distinct_keys: 3,
+            state_bytes: 1_048_576,
+            state_backend: "spacesaving",
+        }
+    }
+
+    #[test]
+    fn summary_is_strict_json_even_at_zero_elapsed() {
+        let opts = RunOpts {
+            synth: true,
+            checkpoint_dir: Some("ckpt".to_string()),
+            ..RunOpts::default()
+        };
+        // The regression: elapsed_secs rounding to zero used to emit
+        // inf rates (and a hypothetical NaN clock must not panic or
+        // leak either).
+        for elapsed in [0.0, -0.0, f64::NAN, f64::INFINITY, 1.5] {
+            let line = summary_json(&opts, &report(), false, None, elapsed);
+            parse_json(&line).unwrap_or_else(|e| panic!("elapsed={elapsed}: {e}\n{line}"));
+        }
+        let line = summary_json(&opts, &report(), false, None, 0.0);
+        assert!(line.contains("\"throughput_bytes_per_sec\":0.0"));
+        assert!(line.contains("\"packets_per_sec\":0.0"));
+        assert!(line.contains("\"state\":\"spacesaving\""));
+        assert!(line.contains("\"distinct_keys\":3"));
+        assert!(line.contains("\"state_bytes\":1048576"));
+    }
+
+    #[test]
+    fn json_validator_rejects_non_json() {
+        assert!(parse_json("{\"a\":inf}").is_err());
+        assert!(parse_json("{\"a\":NaN}").is_err());
+        assert!(parse_json("{\"a\":1.}").is_err());
+        assert!(parse_json("{\"a\":1}x").is_err());
+        assert!(parse_json("{\"a\":{\"b\":[1,2.5,true,null,\"s\"]}}").is_ok());
     }
 }

@@ -18,6 +18,7 @@
 pub mod cli;
 pub mod emit;
 pub mod experiments;
+pub mod sketch;
 
 use eleph_bgp::synth::SynthConfig;
 use eleph_bgp::BgpTable;

@@ -19,7 +19,10 @@
 //!   the **tail-onset point** the paper uses as its threshold;
 //! * [`dist`] — inverse-transform samplers (Pareto, bounded Pareto,
 //!   exponential, log-normal, Weibull) for workload synthesis and for
-//!   validating the estimators against known ground truth.
+//!   validating the estimators against known ground truth;
+//! * [`SetAccuracy`] — recall / precision / byte-coverage of an
+//!   approximate elephant set against the exact oracle's, the scoring
+//!   behind the sketch-tier evaluation.
 //!
 //! \[1\] M. Crovella, M. Taqqu. *Estimating the Heavy Tail Index from
 //! Scaling Properties.* Methodology and Computing in Applied Probability,
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accuracy;
 mod aest;
 pub mod dist;
 mod ecdf;
@@ -38,6 +42,7 @@ mod histogram;
 mod regression;
 mod summary;
 
+pub use accuracy::SetAccuracy;
 pub use aest::{aest, AestConfig, AestResult, PairDiagnostic};
 pub use ecdf::Ecdf;
 pub use error::StatsError;

@@ -228,4 +228,39 @@ fn main() {
         "\nsharded: 4 worker shards classified all {} intervals bit-identically to serial",
         sharded_outcomes.len(),
     );
+
+    // 8. Approximate state. When the key space outgrows a dense
+    //    per-key row, `.state_backend(..)` swaps it for a fixed-budget
+    //    sketch — here Space-Saving under 1 MiB — while key
+    //    attribution, interval geometry, and the whole detection stack
+    //    stay exact. The exact run above doubles as the oracle: compare
+    //    the elephant sets interval by interval. With a budget this
+    //    generous the sketch holds every key exactly; `eleph sketch`
+    //    sweeps tighter budgets and reports the accuracy frontier.
+    //    (`eleph run --state spacesaving --state-budget 1048576` is
+    //    this path from the CLI.)
+    let sketched_collector = Collector::new();
+    let mut sketched = monitor()
+        .state_backend(eleph_pipeline::StateBackendConfig::SpaceSaving {
+            budget_bytes: 1 << 20,
+        })
+        .sink(sketched_collector.sink())
+        .build();
+    sketched.run(TraceSource::new(&trace)).expect("sketched run");
+    let sketched_report = sketched.finish().expect("sketched finish");
+    let sketched_outcomes = sketched_collector.take();
+    let agree = sketched_outcomes
+        .iter()
+        .zip(&outcomes)
+        .filter(|(s, w)| s.outcome.elephants == w.outcome.elephants)
+        .count();
+    println!(
+        "\nsketch backend: {} ({} bytes) tracked {} keys; elephant sets match the exact \
+         oracle in {agree}/{} intervals",
+        sketched_report.state_backend,
+        sketched_report.state_bytes,
+        sketched_report.distinct_keys,
+        sketched_outcomes.len(),
+    );
+    assert_eq!(agree, sketched_outcomes.len());
 }

@@ -36,7 +36,14 @@
 #      identical JSONL (sharding is a throughput knob, never a
 #      measurement change), and the sharded proptest suite is re-run
 #      single-threaded (`RUST_TEST_THREADS=1`) so worker/test-harness
-#      interleavings cannot mask an ordering bug.
+#      interleavings cannot mask an ordering bug;
+#  10. sketch tier: every state backend (exact, spacesaving, cmrow,
+#      bloom) streams the same seeded synthetic capture twice and the
+#      two JSONL outputs must be byte-identical (sketches are
+#      deterministic functions of the stream, never of hashing luck or
+#      allocation order), and `eleph sketch` runs the exact-oracle
+#      accuracy harness end to end, asserting recall >= 0.95 at the
+#      default budget on the west lab scenario.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -135,6 +142,32 @@ grep -q '"shards":4' "$tmpdir/shards4.summary" \
 
 echo "== shard equivalence: proptests single-threaded (RUST_TEST_THREADS=1) =="
 RUST_TEST_THREADS=1 cargo test -q -p eleph-tests --test sharded_equivalence
+
+echo "== sketch tier: per-backend determinism, byte-for-byte JSONL =="
+sketch_args=(run --synth --flows 500 --intervals 12 --interval-secs 20 --prefixes 2000)
+for backend in exact spacesaving cmrow bloom; do
+    "$eleph" "${sketch_args[@]}" --state "$backend" \
+        --out "$tmpdir/state_${backend}_a.jsonl" 2> /dev/null
+    "$eleph" "${sketch_args[@]}" --state "$backend" \
+        --out "$tmpdir/state_${backend}_b.jsonl" 2> "$tmpdir/state_${backend}.summary"
+    cmp "$tmpdir/state_${backend}_a.jsonl" "$tmpdir/state_${backend}_b.jsonl" \
+        || { echo "sketch tier: --state $backend is not deterministic" >&2; exit 1; }
+    grep -q "\"state\":\"$backend\"" "$tmpdir/state_${backend}.summary" \
+        || { echo "sketch tier: summary does not record --state $backend" >&2; exit 1; }
+done
+cmp "$tmpdir/state_exact_a.jsonl" "$tmpdir/shards0.jsonl" 2> /dev/null \
+    || { echo "sketch tier: --state exact diverges from the default path" >&2; exit 1; }
+
+echo "== sketch tier: exact-oracle accuracy harness (recall >= 0.95 at default budget) =="
+"$eleph" sketch > "$tmpdir/sketch.table" 2> "$tmpdir/sketch.summary"
+grep eleph_sketch "$tmpdir/sketch.summary" | tr ',{' '\n\n' \
+    | awk -F: '/^"min_recall"/ {
+          found = 1
+          if ($2 + 0 < 0.95) { print "sketch tier: min_recall " $2 " < 0.95" > "/dev/stderr"; exit 1 }
+      }
+      END { if (!found) { print "sketch tier: no min_recall in summary" > "/dev/stderr"; exit 1 } }'
+grep -q '"exact_bit_identical":true' "$tmpdir/sketch.summary" \
+    || { echo "sketch tier: exact pin missing from harness summary" >&2; exit 1; }
 
 echo "== legacy shims byte-identical to eleph subcommands (fig1a, table1) =="
 cargo run -q --release -p eleph-report --bin eleph -- fig1a --scale 0.01 --seed 5 > "$tmpdir/eleph_fig1a"
